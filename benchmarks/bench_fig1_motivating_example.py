@@ -1,0 +1,52 @@
+"""Figure 1 — the motivating example.
+
+Query-agnostic edge-cut prefers cut 3 (edge-cut 2) even though it splits
+query q2; the query-aware metric prefers cuts 1/2 (query-cut 0).  This bench
+recomputes every number printed in the figure.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core import query_cut_excess
+from repro.graph import edge_cut, new_york_districts
+from repro.graph.generators import NY_CUTS, NY_QUERY_SCOPES
+
+
+def compute_figure1_rows():
+    graph = new_york_districts()
+    scopes = {i: set(s) for i, s in enumerate(NY_QUERY_SCOPES.values())}
+    rows = []
+    for name in ("cut1", "cut2", "cut3"):
+        side = NY_CUTS[name]
+        assignment = np.array([0 if v in side else 1 for v in range(10)])
+        rows.append(
+            (
+                name,
+                edge_cut(graph, assignment) // 2,  # undirected connections
+                query_cut_excess(scopes, assignment, 2),
+            )
+        )
+    return rows
+
+
+def test_fig1_motivating_example(benchmark, record_info):
+    rows = benchmark.pedantic(compute_figure1_rows, rounds=1, iterations=1)
+    print(
+        "\n"
+        + format_table(
+            ["cut", "|Edge-cut|", "|Query-cut|"],
+            rows,
+            title="Figure 1 (paper: cut1=6/0, cut2=8/0, cut3=2/1)",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    assert by_name["cut1"][1:] == (6, 0)
+    assert by_name["cut2"][1:] == (8, 0)
+    assert by_name["cut3"][1:] == (2, 1)
+    record_info(
+        cut1_edge=by_name["cut1"][1],
+        cut2_edge=by_name["cut2"][1],
+        cut3_edge=by_name["cut3"][1],
+        cut3_query=by_name["cut3"][2],
+    )

@@ -1,0 +1,89 @@
+"""Figures 6e and 6f — workload balancing and query locality.
+
+Paper (2048 SSSP on BW):
+* 6e: Domain has high workload imbalance, Hash is balanced, Q-cut converges
+  to ~20% (the δ=0.25 cap);
+* 6f: Domain reaches >95% local iterations, Hash ~38%, Q-cut climbs from
+  Hash's level and converges toward ~80% while *keeping* balance.
+"""
+
+import numpy as np
+
+from repro.bench import Scenario, scale_queries
+from repro.bench.reporting import format_series, format_table
+from benchmarks.conftest import run_arms
+
+
+def build_arms():
+    n = scale_queries(2048, minimum=384)
+    base = dict(
+        graph_preset="bw",
+        infrastructure="M2",
+        k=8,
+        main_queries=n,
+        seed=3,
+    )
+    return {
+        "hash-static": Scenario(name="hash-static", partitioner="hash", adaptive=False, **base),
+        "domain-static": Scenario(name="domain-static", partitioner="domain", adaptive=False, **base),
+        "qcut": Scenario(name="qcut", partitioner="hash", adaptive=True, **base),
+    }
+
+
+def test_fig6e_workload_balance(benchmark, record_info):
+    results = benchmark.pedantic(run_arms, args=(build_arms(),), rounds=1, iterations=1)
+    k = 8
+    series = {
+        name: r.trace.workload_imbalance_series(k) for name, r in results.items()
+    }
+    print(
+        "\n"
+        + format_series(
+            series,
+            title="Figure 6e: workload imbalance over time (deviation from mean load)",
+        )
+    )
+    rows = [(name, r.mean_imbalance) for name, r in results.items()]
+    print(format_table(["arm", "mean imbalance"], rows, title="Figure 6e summary"))
+    hash_imb = results["hash-static"].mean_imbalance
+    dom_imb = results["domain-static"].mean_imbalance
+    qcut_imb = results["qcut"].mean_imbalance
+    # shape: Hash balanced, Domain badly imbalanced, Q-cut in between
+    assert hash_imb < qcut_imb < dom_imb
+    record_info(hash=hash_imb, domain=dom_imb, qcut=qcut_imb)
+
+
+def test_fig6f_query_locality(benchmark, record_info):
+    results = benchmark.pedantic(run_arms, args=(build_arms(),), rounds=1, iterations=1)
+    window = max(results["qcut"].makespan / 14, 1e-6)
+    series = {
+        name: r.trace.locality_series(window) for name, r in results.items()
+    }
+    print(
+        "\n"
+        + format_series(
+            series,
+            title="Figure 6f: fraction of fully-local query iterations over time",
+        )
+    )
+    recs = sorted(
+        results["qcut"].trace.finished_queries(), key=lambda q: q.end_time
+    )
+    tail_locality = float(np.mean([q.locality for q in recs[-len(recs) // 4 :]]))
+    rows = [(name, r.mean_locality) for name, r in results.items()] + [
+        ("qcut (converged tail)", tail_locality)
+    ]
+    print(format_table(["arm", "locality"], rows, title="Figure 6f summary"))
+    print(
+        "(paper: Domain >95%, Hash ~38%, Q-cut converges toward ~80% "
+        "under the balance constraint)"
+    )
+    # shapes
+    assert results["domain-static"].mean_locality > 0.8
+    assert results["hash-static"].mean_locality < 0.3
+    assert tail_locality > results["hash-static"].mean_locality + 0.2
+    record_info(
+        hash=results["hash-static"].mean_locality,
+        domain=results["domain-static"].mean_locality,
+        qcut_tail=tail_locality,
+    )

@@ -1,0 +1,58 @@
+"""§4.1 side finding — LDG's query-workload imbalance.
+
+Paper: "LDG resulted in highly imbalanced partitions due to the skewness of
+the query distribution.  Initial experiments ... suggest an increased
+average query latency by factor two to six compared to our methods.  Hence,
+we excluded it."  We reproduce the measurement that justified the exclusion,
+with FENNEL as an extra query-agnostic streaming baseline.
+"""
+
+from repro.bench import Scenario, scale_queries
+from repro.bench.reporting import format_table
+from benchmarks.conftest import run_arms
+
+
+def build_arms():
+    n = scale_queries(512, minimum=128)
+    base = dict(
+        graph_preset="bw",
+        infrastructure="M2",
+        k=8,
+        main_queries=n,
+        adaptive=False,
+        seed=3,
+    )
+    return {
+        part: Scenario(name=part, partitioner=part, **base)
+        for part in ("hash", "domain", "ldg", "fennel")
+    }
+
+
+def test_ldg_imbalance(benchmark, record_info):
+    results = benchmark.pedantic(run_arms, args=(build_arms(),), rounds=1, iterations=1)
+    rows = [
+        (name, r.mean_latency, r.mean_imbalance, r.mean_locality)
+        for name, r in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["partitioner", "mean latency", "query-load imbalance", "locality"],
+            rows,
+            title="LDG exclusion experiment (§4.1)",
+        )
+    )
+    ratio = results["ldg"].mean_latency / min(
+        results["hash"].mean_latency, results["domain"].mean_latency
+    )
+    print(
+        f"LDG latency vs best of Hash/Domain: {ratio:.2f}x (paper: 2-6x).\n"
+        "NOTE: the paper's latency blow-up does not reproduce at our scale —\n"
+        "LDG's *query-load imbalance* does (it packs whole hotspot cities\n"
+        "into stream-order partitions, Domain-style), but our simulated\n"
+        "8-worker deployments absorb that skew; see EXPERIMENTS.md."
+    )
+    # the reproducible part of the finding: LDG concentrates query load far
+    # beyond Hash (the *cause* the paper cites for excluding it)
+    assert results["ldg"].mean_imbalance > 4 * results["hash"].mean_imbalance
+    record_info(ldg_latency_ratio=ratio, ldg_imbalance=results["ldg"].mean_imbalance)

@@ -1,0 +1,74 @@
+"""Table 1 — the research gap as a measured capability matrix.
+
+The paper's Table 1 classifies systems by Locality / Multi-query /
+Adaptivity.  We emulate each system class with the corresponding engine
+configuration and measure the resulting latency on the same CGA workload,
+demonstrating that each capability contributes:
+
+* Pregel-like       : shared BSP barrier, Hash, static
+* PowerLyra-like    : shared BSP barrier, locality partitioning, static
+* Mizan-like        : shared BSP barrier, Hash, adaptive repartitioning
+* Seraph-like       : per-query global barriers, Hash, static
+* Q-Graph           : hybrid barriers, Q-cut adaptive partitioning
+"""
+
+from repro.bench import Scenario, scale_queries
+from repro.bench.reporting import format_table
+from repro.engine import SyncMode
+from benchmarks.conftest import run_arms
+
+
+MATRIX = {
+    # name: (sync mode, partitioner, adaptive, locality, multi-query, adaptivity)
+    "pregel-like": (SyncMode.SHARED_BSP, "hash", False, "x", "x", "x"),
+    "powerlyra-like": (SyncMode.SHARED_BSP, "domain", False, "OK", "x", "x"),
+    "mizan-like": (SyncMode.SHARED_BSP, "hash", True, "x", "x", "OK"),
+    "seraph-like": (SyncMode.GLOBAL_PER_QUERY, "hash", False, "x", "OK", "x"),
+    "q-graph": (SyncMode.HYBRID, "hash", True, "OK", "OK", "OK"),
+}
+
+
+def build_arms():
+    n = scale_queries(512, minimum=128)
+    arms = {}
+    for name, (mode, part, adaptive, *_flags) in MATRIX.items():
+        arms[name] = Scenario(
+            name=name,
+            partitioner=part,
+            sync_mode=mode,
+            adaptive=adaptive,
+            graph_preset="bw",
+            infrastructure="M2",
+            k=8,
+            main_queries=n,
+            seed=3,
+        )
+    return arms
+
+
+def test_table1_research_gap(benchmark, record_info):
+    results = benchmark.pedantic(run_arms, args=(build_arms(),), rounds=1, iterations=1)
+    rows = []
+    for name, (mode, part, adaptive, loc, multi, adapt) in MATRIX.items():
+        r = results[name]
+        rows.append(
+            (name, loc, multi, adapt, r.mean_latency, r.mean_locality)
+        )
+    print(
+        "\n"
+        + format_table(
+            ["system class", "Locality", "Multi-query", "Adaptivity", "mean latency", "measured locality"],
+            rows,
+            title="Table 1: capability matrix, measured on the same CGA workload",
+        )
+    )
+    # Q-Graph (all three capabilities) must beat the single-capability classes
+    qgraph = results["q-graph"].mean_latency
+    assert qgraph < results["pregel-like"].mean_latency
+    assert qgraph < results["seraph-like"].mean_latency
+    record_info(
+        qgraph=qgraph,
+        pregel=results["pregel-like"].mean_latency,
+        seraph=results["seraph-like"].mean_latency,
+        powerlyra=results["powerlyra-like"].mean_latency,
+    )

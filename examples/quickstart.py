@@ -1,0 +1,88 @@
+"""Quickstart: run shortest-path queries on a Q-Graph engine.
+
+Builds a small synthetic road network, partitions it, starts the engine and
+executes a handful of SSSP queries — first on a static Hash partitioning,
+then with the Q-cut adaptive controller enabled — and prints the latency and
+locality difference.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Controller, ControllerConfig
+from repro.engine import EngineConfig, QGraphEngine, Query
+from repro.graph import generate_road_network
+from repro.partitioning import HashPartitioner
+from repro.queries import SsspProgram
+from repro.simulation.cluster import make_cluster
+from repro.workload import PhaseSpec, WorkloadGenerator
+
+
+def run(adaptive: bool):
+    # 1. a synthetic road network: 8 hotspot cities, ~8k junctions
+    rn = generate_road_network(
+        num_cities=8,
+        num_urban_vertices=8000,
+        seed=21,
+        region_size=100.0,
+        zipf_exponent=0.45,
+    )
+
+    # 2. an initial Hash partitioning over 4 workers
+    k = 4
+    assignment = HashPartitioner(seed=0).partition(rn.graph, k)
+
+    # 3. the engine: simulated M2 machine, centralized controller
+    controller = Controller(
+        k,
+        ControllerConfig(
+            mu=10.0,
+            max_tracked_queries=32,
+            qcut_compute_time=0.002,
+            qcut_cooldown=0.01,
+            min_queries_for_qcut=4,
+            ils_rounds=60,
+        ),
+    )
+    engine = QGraphEngine(
+        rn.graph,
+        make_cluster("M2", k),
+        assignment,
+        controller=controller,
+        config=EngineConfig(adaptive=adaptive),
+    )
+
+    # 4. a hotspot workload: 96 intra-urban SSSP queries, 16 in parallel
+    workload = WorkloadGenerator(rn, seed=5).generate(
+        [PhaseSpec(num_queries=96, kind="sssp", label="demo")]
+    )
+    workload.submit_all(engine)
+
+    # 5. run to completion (virtual time) and inspect results
+    trace = engine.run()
+    first = workload.entries[0][0]
+    result = engine.query_result(first.query_id)
+    print(
+        f"  query {first.query_id}: {result['start']} -> {result['target']}, "
+        f"travel time {result['distance']:.1f} min, "
+        f"{result['settled']} vertices settled"
+    )
+    print(
+        f"  {len(trace.finished_queries())} queries; "
+        f"mean latency {trace.mean_latency() * 1000:.2f} ms, "
+        f"locality {trace.mean_locality():.0%}, "
+        f"{len(trace.repartitions)} repartitionings"
+    )
+    return trace
+
+
+def main():
+    print("static Hash partitioning:")
+    static = run(adaptive=False)
+    print("with Q-cut adaptive repartitioning:")
+    adaptive = run(adaptive=True)
+    speedup = static.mean_latency() / adaptive.mean_latency()
+    print(f"Q-cut speedup on mean query latency: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Q-Graph: preserving query locality in multi-query graph processing.
+
+A from-scratch Python reproduction of Mayer et al., GRADES-NDA'18
+(https://doi.org/10.1145/3210259.3210265): the Q-cut query-aware
+partitioner, hybrid barrier synchronization, the adaptive MAPE controller,
+and all substrates (graph storage, partitioning baselines, a discrete-event
+cluster simulation, the multi-query vertex-centric engine, query programs,
+and hotspot workload generation).
+
+Quickstart::
+
+    from repro.bench import Scenario, run_scenario
+
+    result = run_scenario(Scenario(name="demo", main_queries=64))
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro import bench, core, engine, graph, partitioning, queries, simulation, workload
+from repro.errors import ReproError
+
+__all__ = [
+    "bench",
+    "core",
+    "engine",
+    "graph",
+    "partitioning",
+    "queries",
+    "simulation",
+    "workload",
+    "ReproError",
+    "__version__",
+]

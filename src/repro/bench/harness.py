@@ -1,0 +1,268 @@
+"""Experiment harness used by every benchmark and the examples.
+
+One :class:`Scenario` describes an experiment arm — graph preset, scale,
+infrastructure, initial partitioner, synchronization mode, adaptivity,
+workload — and :func:`run_scenario` executes it deterministically, returning
+the metric trace plus derived statistics.
+
+Scaling: the benchmark suite honours the ``REPRO_SCALE`` environment
+variable (``small`` — default, ``medium``, ``paper``).  Query counts and
+graph sizes are scaled down so the whole suite runs in minutes; the
+experiment *shapes* (who wins, crossovers) are preserved.  Controller timing
+parameters are scaled with the graphs: our road networks are ~100x smaller
+than the OSM extracts, so virtual-time constants (monitoring window μ,
+Q-cut budget) shrink accordingly — the mapping is documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.controller import Controller, ControllerConfig
+from repro.engine.barriers import SyncMode
+from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.errors import ReproError
+from repro.graph.road_network import (
+    RoadNetwork,
+    baden_wuerttemberg_like,
+    germany_like,
+)
+from repro.partitioning import (
+    BfsRegionPartitioner,
+    DomainPartitioner,
+    FennelPartitioner,
+    HashPartitioner,
+    LdgPartitioner,
+)
+from repro.simulation.cluster import make_cluster
+from repro.simulation.tracing import MetricsTrace
+from repro.workload.generator import PhaseSpec, WorkloadGenerator
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "get_scale",
+    "scale_queries",
+    "graph_scale_for",
+    "default_controller_config",
+    "road_network_for",
+]
+
+_SCALE_ENV = "REPRO_SCALE"
+
+#: query-count multiplier and graph-size multiplier per scale level
+_SCALES: Dict[str, Tuple[float, float]] = {
+    "small": (1.0 / 8.0, 1.0),
+    "medium": (1.0 / 4.0, 1.25),
+    "paper": (1.0, 2.0),
+}
+
+_NETWORK_CACHE: Dict[Tuple[str, float, int], RoadNetwork] = {}
+
+
+def get_scale() -> str:
+    """The active scale level (``REPRO_SCALE`` env var, default ``small``)."""
+    level = os.environ.get(_SCALE_ENV, "small").lower()
+    if level not in _SCALES:
+        raise ReproError(
+            f"unknown {_SCALE_ENV}={level!r}; pick one of {sorted(_SCALES)}"
+        )
+    return level
+
+
+def scale_queries(paper_count: int, minimum: int = 16) -> int:
+    """Scale a paper query count to the active level."""
+    factor, _ = _SCALES[get_scale()]
+    return max(int(paper_count * factor), minimum)
+
+
+def graph_scale_for(preset: str) -> float:
+    """Graph-size multiplier for the active level (GY gets an extra cut)."""
+    _, gfactor = _SCALES[get_scale()]
+    if preset == "gy":
+        return gfactor * 0.5
+    return gfactor
+
+
+def road_network_for(preset: str, scale: Optional[float] = None, seed: int = 0) -> RoadNetwork:
+    """Cached road-network construction (presets ``"bw"`` / ``"gy"``)."""
+    if scale is None:
+        scale = graph_scale_for(preset)
+    key = (preset, round(float(scale), 4), seed)
+    if key not in _NETWORK_CACHE:
+        if preset == "bw":
+            _NETWORK_CACHE[key] = baden_wuerttemberg_like(scale=scale, seed=7 + seed)
+        elif preset == "gy":
+            _NETWORK_CACHE[key] = germany_like(scale=scale, seed=11 + seed)
+        else:
+            raise ReproError(f"unknown graph preset {preset!r}")
+    return _NETWORK_CACHE[key]
+
+
+def default_controller_config(**overrides) -> ControllerConfig:
+    """Controller parameters calibrated for the scaled simulations.
+
+    The paper's values (μ=240 s, 2 s Q-cut budget) assume multi-second query
+    latencies on 1.8M-11.8M-vertex graphs; our scaled graphs run queries in
+    tens of virtual milliseconds, so the window and budget shrink by the
+    same two orders of magnitude while keeping Φ=0.7 and δ=0.25 untouched.
+    """
+    base = dict(
+        mu=0.1,
+        phi=0.7,
+        delta=0.25,
+        max_tracked_queries=64,
+        clusters_per_worker=4,
+        qcut_compute_time=0.004,
+        ils_rounds=60,
+        qcut_cooldown=0.03,
+        min_queries_for_qcut=8,
+        seed=0,
+    )
+    base.update(overrides)
+    return ControllerConfig(**base)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment arm."""
+
+    name: str
+    graph_preset: str = "bw"
+    infrastructure: str = "M2"
+    k: int = 8
+    partitioner: str = "hash"
+    sync_mode: SyncMode = SyncMode.HYBRID
+    adaptive: bool = True
+    workload: str = "sssp"
+    main_queries: int = 256
+    disturbance_queries: int = 0
+    max_parallel: int = 16
+    seed: int = 0
+    graph_scale: Optional[float] = None
+    workload_bucket: float = 0.05
+    controller_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def controller_config(self) -> ControllerConfig:
+        return default_controller_config(**dict(self.controller_overrides))
+
+
+@dataclass
+class ScenarioResult:
+    """Trace plus derived statistics of one scenario run."""
+
+    scenario: Scenario
+    trace: MetricsTrace
+    controller: Controller
+    engine: QGraphEngine
+    wall_seconds: float
+
+    # headline numbers -------------------------------------------------
+    @property
+    def total_latency(self) -> float:
+        return self.trace.total_latency()
+
+    @property
+    def mean_latency(self) -> float:
+        return self.trace.mean_latency()
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan()
+
+    @property
+    def mean_locality(self) -> float:
+        return self.trace.mean_locality()
+
+    @property
+    def mean_imbalance(self) -> float:
+        return self.trace.mean_workload_imbalance(self.scenario.k)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_latency": self.total_latency,
+            "mean_latency": self.mean_latency,
+            "makespan": self.makespan,
+            "locality": self.mean_locality,
+            "imbalance": self.mean_imbalance,
+            "repartitions": float(len(self.trace.repartitions)),
+            "queries": float(len(self.trace.finished_queries())),
+        }
+
+
+def _build_partitioner(name: str, rn: RoadNetwork, seed: int):
+    if name == "hash":
+        return HashPartitioner(seed=seed)
+    if name == "domain":
+        return DomainPartitioner(road_network=rn, seed=seed)
+    if name == "ldg":
+        return LdgPartitioner(seed=seed)
+    if name == "fennel":
+        return FennelPartitioner(seed=seed)
+    if name == "bfs":
+        return BfsRegionPartitioner(seed=seed)
+    raise ReproError(f"unknown partitioner {name!r}")
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one experiment arm end to end (deterministic)."""
+    t0 = time.perf_counter()
+    rn = road_network_for(scenario.graph_preset, scenario.graph_scale, seed=0)
+    graph = rn.graph
+
+    partitioner = _build_partitioner(scenario.partitioner, rn, scenario.seed)
+    assignment = partitioner.partition(graph, scenario.k)
+
+    cluster = make_cluster(scenario.infrastructure, scenario.k)
+    controller = Controller(scenario.k, scenario.controller_config())
+    trace = MetricsTrace(workload_bucket=scenario.workload_bucket)
+    engine = QGraphEngine(
+        graph,
+        cluster,
+        assignment,
+        controller=controller,
+        config=EngineConfig(
+            sync_mode=scenario.sync_mode,
+            max_parallel_queries=scenario.max_parallel,
+            adaptive=scenario.adaptive,
+        ),
+        trace=trace,
+    )
+
+    generator = WorkloadGenerator(rn, seed=scenario.seed + 1)
+    if scenario.workload == "sssp":
+        wl = generator.paper_sssp_workload(
+            main_queries=scenario.main_queries,
+            disturbance_queries=scenario.disturbance_queries,
+        )
+    elif scenario.workload == "poi":
+        wl = generator.paper_poi_workload(num_queries=scenario.main_queries)
+    else:
+        raise ReproError(f"unknown workload {scenario.workload!r}")
+    wl.submit_all(engine)
+    engine.run()
+
+    return ScenarioResult(
+        scenario=scenario,
+        trace=trace,
+        controller=controller,
+        engine=engine,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def compare(
+    base: Scenario, variants: Dict[str, Dict[str, object]]
+) -> Dict[str, ScenarioResult]:
+    """Run the base scenario and named variations (``replace`` overrides)."""
+    results = {base.name: run_scenario(base)}
+    for name, overrides in variants.items():
+        results[name] = run_scenario(replace(base, name=name, **overrides))
+    return results

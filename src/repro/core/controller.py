@@ -1,0 +1,313 @@
+"""The centralized controller (§3.1, §3.2, §3.4).
+
+The controller owns the MAPE loop:
+
+* **Monitor** — workers piggyback stats on barrier messages; the controller
+  tracks windowed query locality (:class:`~repro.core.monitoring.QueryMonitor`)
+  and global query scopes (:class:`~repro.core.scopes.QueryScopes`).
+* **Analyze** — when the average query locality over the window falls below
+  the threshold Φ, repartitioning is warranted (§3.4).
+* **Plan** — queries are clustered (Karger variant, Appendix A.1) into
+  ``4k`` clusters, a high-level :class:`~repro.core.state.QcutState` is
+  built, and Algorithm 1 (ILS) searches for a low-cost Q-cut.  This runs
+  *asynchronously* to graph processing — the engine charges the configured
+  virtual compute time but lets workers continue.
+* **Execute** — the resulting high-level moves are translated back into
+  low-level :class:`~repro.core.api.MoveRequest` vertex sets, applied under
+  a global STOP/START barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.api import MoveRequest
+from repro.core.clustering import cluster_queries
+from repro.core.ils import IlsResult, iterated_local_search
+from repro.core.monitoring import QueryMonitor
+from repro.core.scopes import QueryScopes, pairwise_intersections
+from repro.core.state import Fragment, QcutState
+from repro.errors import ControllerError
+
+__all__ = ["ControllerConfig", "MovePlan", "Controller"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunable parameters (defaults follow §4.1 System Settings).
+
+    Attributes
+    ----------
+    mu:
+        Monitoring window in (virtual) seconds — how long old queries stay
+        in the controller's global view (paper: 240 s).
+    phi:
+        Locality threshold triggering Q-cut (paper: 0.7; robust in
+        [0.3, 0.99]).
+    delta:
+        Maximum allowed workload imbalance (paper: 0.25).
+    max_tracked_queries:
+        Hard cap on the number of windowed queries (paper: 128).
+    clusters_per_worker:
+        Query clusters per worker for the Karger preprocessing (paper: 4,
+        i.e. "4k clusters").
+    qcut_compute_time:
+        Virtual seconds the controller spends computing a Q-cut (paper: 2 s)
+        — overlapped with worker execution.
+    ils_rounds:
+        Deterministic ILS round budget standing in for the wall-clock limit.
+    qcut_cooldown:
+        Minimum virtual seconds between consecutive repartitionings.
+    min_queries_for_qcut:
+        Do not bother repartitioning with fewer observed queries.
+    """
+
+    mu: float = 240.0
+    phi: float = 0.7
+    delta: float = 0.25
+    max_tracked_queries: int = 128
+    clusters_per_worker: int = 4
+    qcut_compute_time: float = 2.0
+    ils_rounds: int = 40
+    qcut_cooldown: float = 20.0
+    min_queries_for_qcut: int = 4
+    seed: int = 0
+
+
+@dataclass
+class MovePlan:
+    """The Execute-step payload: low-level vertex moves plus provenance."""
+
+    moves: List[MoveRequest] = field(default_factory=list)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+    ils_result: Optional[IlsResult] = None
+
+    @property
+    def moved_vertices(self) -> int:
+        return int(sum(m.size for m in self.moves))
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+
+class Controller:
+    """Centralized graph-management layer."""
+
+    def __init__(self, num_workers: int, config: Optional[ControllerConfig] = None) -> None:
+        if num_workers < 1:
+            raise ControllerError("need at least one worker")
+        self.k = num_workers
+        self.config = config or ControllerConfig()
+        self.monitor = QueryMonitor(
+            window=self.config.mu, max_queries=self.config.max_tracked_queries
+        )
+        self.scopes = QueryScopes()
+        self.last_qcut_time = -float("inf")
+        self._qcut_running = False
+        self._snapshot: Optional[Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]] = None
+        self._qcut_count = 0
+        #: exponential backoff applied to the cooldown when consecutive
+        #: Q-cuts stop improving (the workload's locality has plateaued at
+        #: its balance-constrained optimum — no point thrashing)
+        self._backoff = 1.0
+
+    # ------------------------------------------------------------------
+    # Monitor
+    # ------------------------------------------------------------------
+    def on_query_started(self, query_id: int, now: float) -> None:
+        self.monitor.record_start(query_id, now)
+
+    def on_iteration(
+        self,
+        query_id: int,
+        involved_workers: int,
+        activated_vertices: List[int],
+        now: float,
+    ) -> None:
+        """Digest one piggybacked stats + barrierSynch round for a query."""
+        self.monitor.record_iteration(query_id, involved_workers, now)
+        if activated_vertices:
+            self.scopes.add_activations(query_id, activated_vertices)
+
+    def on_query_finished(self, query_id: int, now: float) -> None:
+        self.monitor.record_finish(query_id, now)
+        for stale in self.monitor.evict_stale(now):
+            self.scopes.drop(stale)
+
+    def average_locality(self) -> float:
+        """Monitored average query locality (the Φ signal)."""
+        return self.monitor.average_locality()
+
+    def estimate_imbalance(self, assignment: np.ndarray) -> float:
+        """Windowed workload imbalance under the A.1 load model.
+
+        ``L_w = (|V(w)| + sum_q |LS(q, w)|) / 2`` computed from the scope
+        table; returns ``(max - min) / max`` over workers.
+        """
+        scope_mass = np.zeros(self.k, dtype=np.float64)
+        for qid in self.monitor.tracked_queries():
+            if self.scopes.global_scope_size(qid):
+                scope_mass += self.scopes.local_scope_sizes(qid, assignment, self.k)
+        vertices = np.bincount(assignment, minlength=self.k).astype(np.float64)
+        loads = (vertices + scope_mass) / 2.0
+        top = loads.max()
+        if top <= 0:
+            return 0.0
+        return float((top - loads.min()) / top)
+
+    # ------------------------------------------------------------------
+    # Analyze
+    # ------------------------------------------------------------------
+    def should_trigger_qcut(
+        self, now: float, assignment: Optional[np.ndarray] = None
+    ) -> bool:
+        """Whether to kick off an asynchronous Q-cut computation.
+
+        §3.4 triggers "when the statistics indicate that the current
+        partitioning is suboptimal": average query locality below Φ, or —
+        the balance half of the objective — windowed workload imbalance
+        beyond δ (this is what lets Q-cut repair Domain's straggler
+        problem even though Domain's locality is excellent).
+        """
+        if self._qcut_running:
+            return False
+        if now - self.last_qcut_time < self.config.qcut_cooldown * self._backoff:
+            return False
+        if len(self.monitor) < self.config.min_queries_for_qcut:
+            return False
+        if self.average_locality() < self.config.phi:
+            return True
+        if assignment is not None:
+            return self.estimate_imbalance(assignment) >= self.config.delta * 2.0
+        return False
+
+    # ------------------------------------------------------------------
+    # Plan
+    # ------------------------------------------------------------------
+    def begin_qcut(self, assignment: np.ndarray, now: float) -> float:
+        """Snapshot the high-level state; returns the virtual compute time.
+
+        The engine should schedule the ``qcut_done`` event after the returned
+        duration and then call :meth:`complete_qcut`.
+        """
+        if self._qcut_running:
+            raise ControllerError("a Q-cut computation is already running")
+        self._qcut_running = True
+        self._snapshot = self._build_snapshot(assignment)
+        return self.config.qcut_compute_time
+
+    def _build_snapshot(
+        self, assignment: np.ndarray
+    ) -> Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]:
+        """High-level representation: clusters -> per-worker fragments."""
+        query_ids = [
+            qid
+            for qid in self.monitor.tracked_queries()
+            if self.scopes.global_scope_size(qid) > 0
+        ]
+        scope_map = {qid: self.scopes.global_scope(qid) for qid in query_ids}
+        overlaps = pairwise_intersections(scope_map)
+        max_clusters = max(self.config.clusters_per_worker * self.k, 1)
+        labels = cluster_queries(
+            query_ids, overlaps, max_clusters, seed=self.config.seed + self._qcut_count
+        )
+        num_units = max(labels.values()) + 1 if labels else 0
+
+        # union scopes per cluster, then split into per-worker fragments;
+        # the weighted mass counts shared vertices once per member query
+        # (the paper's sum_q |LS(q, w)| workload term), the union mass counts
+        # distinct vertices (what a move actually relocates).
+        cluster_scopes: Dict[int, set] = {}
+        cluster_members: Dict[int, List[int]] = {}
+        for qid, unit in labels.items():
+            cluster_scopes.setdefault(unit, set()).update(scope_map[qid])
+            cluster_members.setdefault(unit, []).append(qid)
+
+        fragments: List[Fragment] = []
+        fragment_vertices: Dict[Tuple[int, int], np.ndarray] = {}
+        scope_vertex_count = np.zeros(self.k, dtype=np.int64)
+        for unit, scope in sorted(cluster_scopes.items()):
+            vertices = np.fromiter(scope, dtype=np.int64, count=len(scope))
+            owners = assignment[vertices]
+            weighted_per_worker = np.zeros(self.k, dtype=np.int64)
+            for qid in cluster_members[unit]:
+                weighted_per_worker += self.scopes.local_scope_sizes(
+                    qid, assignment, self.k
+                )
+            for w in np.unique(owners):
+                members = vertices[owners == w]
+                fragments.append(
+                    Fragment(
+                        unit=unit,
+                        origin_worker=int(w),
+                        union_size=int(members.size),
+                        weighted_size=int(
+                            max(weighted_per_worker[int(w)], members.size)
+                        ),
+                    )
+                )
+                fragment_vertices[(unit, int(w))] = members
+                scope_vertex_count[int(w)] += members.size
+
+        totals = np.bincount(assignment, minlength=self.k).astype(np.float64)
+        base = np.maximum(totals - scope_vertex_count, 0.0)
+        state = QcutState(
+            num_units=num_units,
+            num_workers=self.k,
+            fragments=fragments,
+            base_vertices=base,
+            delta=self.config.delta,
+        )
+        return state, fragment_vertices
+
+    def complete_qcut(self, now: float) -> MovePlan:
+        """Run the ILS on the snapshot and emit the low-level move plan."""
+        if not self._qcut_running or self._snapshot is None:
+            raise ControllerError("no Q-cut computation in progress")
+        state, fragment_vertices = self._snapshot
+        self._snapshot = None
+        self._qcut_running = False
+        self.last_qcut_time = now
+        self._qcut_count += 1
+
+        if state.num_units == 0:
+            return MovePlan()
+
+        result = iterated_local_search(
+            state,
+            max_rounds=self.config.ils_rounds,
+            seed=self.config.seed + self._qcut_count,
+        )
+        plan = MovePlan(
+            cost_before=result.initial_cost,
+            cost_after=result.best_cost,
+            ils_result=result,
+        )
+        for unit, origin, current in result.best_state.relocated_fragments():
+            vertices = fragment_vertices.get((unit, origin))
+            if vertices is None or vertices.size == 0:
+                continue
+            plan.moves.append(MoveRequest(src=origin, dst=current, vertices=vertices))
+
+        # adaptive backoff: when the ILS stops finding substantial
+        # improvements, the partitioning has converged to its
+        # balance-constrained optimum — repartitioning again would only
+        # shuffle vertices and pay global barriers for nothing.
+        if not plan.moves or result.improvement < 0.15:
+            self._backoff = min(self._backoff * 2.0, 16.0)
+        else:
+            self._backoff = 1.0
+        return plan
+
+    @property
+    def qcut_running(self) -> bool:
+        return self._qcut_running
+
+    @property
+    def qcut_count(self) -> int:
+        """Completed Q-cut computations so far."""
+        return self._qcut_count

@@ -1,0 +1,113 @@
+"""Local search heuristic — Algorithm 2 of the paper.
+
+Repeatedly enumerate all successor states reachable by moving one cluster's
+local scope from one worker to another (subject to the δ balance check of
+line 15), take the successor with minimal cost, and stop at the first local
+minimum.
+
+The enumeration is vectorised: with ``U`` clusters and ``k`` workers the
+``U x k x k`` candidate tensor is evaluated in a handful of numpy
+operations per step, which is what makes the controller's 2-second budget
+realistic even in Python ("query-aware partitioning is fast because it
+operates on a small number of queries rather than a large number of
+vertices", §1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.state import QcutState
+
+__all__ = ["best_successor", "local_search"]
+
+
+def _candidate_tensor(state: QcutState) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate every (unit, w_from, w_to) move.
+
+    Returns
+    -------
+    (delta_cost, feasible):
+        ``delta_cost[u, a, b]`` — cost change of moving unit ``u``'s mass
+        from worker ``a`` to worker ``b``;
+        ``feasible[u, a, b]`` — whether the move exists (mass > 0, a != b)
+        and passes the balance constraint of Algorithm 2 line 15.
+    """
+    weighted = state.weighted  # (U, k): drives cost and the workload term
+    union = state.union  # (U, k): distinct vertices, drives |V(w)|
+    U, k = weighted.shape
+    if U == 0:
+        empty = np.zeros((0, k, k))
+        return empty, np.zeros((0, k, k), dtype=bool)
+
+    xw = weighted[:, :, None]  # weighted mass moved, broadcast over targets
+    # --- new per-unit row maxima of the weighted matrix after the move -----
+    # new row = original with source zeroed and target incremented.
+    order = np.argsort(weighted, axis=1)
+    top1_idx = order[:, -1]
+    rows = np.arange(U)
+    top1 = weighted[rows, top1_idx]
+    top2 = weighted[rows, order[:, -2]] if k >= 2 else np.zeros(U)
+    # max of the row excluding column a: top1 unless a IS the argmax column
+    max_excl = np.repeat(top1[:, None], k, axis=1)
+    max_excl[rows, top1_idx] = top2
+    target_val = weighted[:, None, :] + xw  # value at column b after the move
+    # the max over w != a is covered by max_excl (with b's growth dominated
+    # by target_val, since target_val >= weighted[u, b])
+    new_max = np.maximum(max_excl[:, :, None], target_val)  # (U, a, b)
+
+    totals = weighted.sum(axis=1)  # invariant under moves
+    old_contrib = totals - top1
+    new_contrib = totals[:, None, None] - new_max
+    delta = new_contrib - old_contrib[:, None, None]
+
+    # --- feasibility ---------------------------------------------------------
+    feasible = np.broadcast_to(weighted[:, :, None] > 0, (U, k, k)).copy()
+    diag = np.arange(k)
+    feasible[:, diag, diag] = False
+    # balance check: the load change of the move is (union + weighted) / 2
+    x_load = (union[:, :, None] + xw) / 2.0
+    loads = state.loads()
+    lf = loads[None, :, None] - x_load  # (U, a, b): source load after move
+    lt = loads[None, None, :] + x_load  # (U, a, b): target load after move
+    top = np.abs(lf - lt)
+    bottom = np.maximum(lf, lt)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        imbalance = np.where(bottom > 0, top / bottom, 0.0)
+    feasible &= imbalance < state.delta
+    return delta, feasible
+
+
+def best_successor(state: QcutState) -> Optional[Tuple[int, int, int, float]]:
+    """The (unit, w_from, w_to, delta_cost) of the best feasible move.
+
+    Returns ``None`` when no feasible move exists.  Ties are broken
+    deterministically by flat index.
+    """
+    delta, feasible = _candidate_tensor(state)
+    if not feasible.any():
+        return None
+    masked = np.where(feasible, delta, np.inf)
+    flat = int(np.argmin(masked))
+    u, a, b = np.unravel_index(flat, masked.shape)
+    return int(u), int(a), int(b), float(masked[u, a, b])
+
+
+def local_search(state: QcutState, max_steps: int = 10_000) -> QcutState:
+    """Algorithm 2: descend to a local minimum by best-improvement moves.
+
+    Mutates and returns ``state``.  Only strictly improving moves are taken
+    (``c_{s'} < c_s``), so termination is guaranteed; ``max_steps`` is a
+    safety net.
+    """
+    for _ in range(max_steps):
+        best = best_successor(state)
+        if best is None:
+            break
+        unit, w_from, w_to, delta_cost = best
+        if delta_cost >= 0.0:
+            break
+        state.apply_move(unit, w_from, w_to)
+    return state

@@ -1,0 +1,124 @@
+"""Workload monitoring (§3.4 — the Monitor step of the MAPE loop).
+
+The controller maintains query statistics for a *tumbling monitoring window*
+of μ seconds (the window parameter of §2/§3.4) capped at a maximum number of
+queries (the paper uses 128): per query it tracks iteration counts, how many
+of those iterations ran completely locally on one worker, and the last
+activity time.  The **query locality** — "the percentage of iterations which
+a query executes completely locally on a single worker" — is the signal that
+triggers repartitioning when its average drops below the threshold Φ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["QueryStats", "QueryMonitor"]
+
+
+@dataclass
+class QueryStats:
+    """Windowed per-query counters."""
+
+    query_id: int
+    first_seen: float
+    last_activity: float
+    iterations: int = 0
+    local_iterations: int = 0
+    finished: bool = False
+
+    @property
+    def locality(self) -> float:
+        """Fraction of fully-local iterations (1.0 before any iteration)."""
+        if self.iterations == 0:
+            return 1.0
+        return self.local_iterations / self.iterations
+
+
+class QueryMonitor:
+    """Tumbling-window statistics store on the controller."""
+
+    def __init__(self, window: float = 240.0, max_queries: int = 128) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_queries < 1:
+            raise ValueError("max_queries must be >= 1")
+        self.window = window
+        self.max_queries = max_queries
+        self._stats: Dict[int, QueryStats] = {}
+
+    # ------------------------------------------------------------------
+    def record_start(self, query_id: int, now: float) -> None:
+        self._stats[query_id] = QueryStats(
+            query_id=query_id, first_seen=now, last_activity=now
+        )
+        self._enforce_cap()
+
+    def record_iteration(self, query_id: int, involved_workers: int, now: float) -> None:
+        stats = self._stats.get(query_id)
+        if stats is None:
+            stats = QueryStats(query_id=query_id, first_seen=now, last_activity=now)
+            self._stats[query_id] = stats
+            self._enforce_cap()
+        stats.iterations += 1
+        if involved_workers <= 1:
+            stats.local_iterations += 1
+        stats.last_activity = now
+
+    def record_finish(self, query_id: int, now: float) -> None:
+        stats = self._stats.get(query_id)
+        if stats is not None:
+            stats.finished = True
+            stats.last_activity = now
+
+    # ------------------------------------------------------------------
+    def evict_stale(self, now: float) -> List[int]:
+        """Drop queries outside the monitoring window; returns evicted ids."""
+        cutoff = now - self.window
+        stale = [
+            qid
+            for qid, s in self._stats.items()
+            if s.finished and s.last_activity < cutoff
+        ]
+        for qid in stale:
+            del self._stats[qid]
+        return stale
+
+    def _enforce_cap(self) -> None:
+        """Bound to ``max_queries`` by evicting the oldest finished entries."""
+        if len(self._stats) <= self.max_queries:
+            return
+        removable = sorted(
+            (s for s in self._stats.values() if s.finished),
+            key=lambda s: s.last_activity,
+        )
+        excess = len(self._stats) - self.max_queries
+        for s in removable[:excess]:
+            del self._stats[s.query_id]
+        # if still above cap (all running), evict oldest regardless
+        if len(self._stats) > self.max_queries:
+            oldest = sorted(self._stats.values(), key=lambda s: s.last_activity)
+            for s in oldest[: len(self._stats) - self.max_queries]:
+                del self._stats[s.query_id]
+
+    # ------------------------------------------------------------------
+    def tracked_queries(self) -> List[int]:
+        return sorted(self._stats)
+
+    def stats(self, query_id: int) -> Optional[QueryStats]:
+        return self._stats.get(query_id)
+
+    def average_locality(self, min_iterations: int = 1) -> float:
+        """Mean per-query locality over the window (the Φ trigger signal)."""
+        values = [
+            s.locality
+            for s in self._stats.values()
+            if s.iterations >= min_iterations
+        ]
+        if not values:
+            return 1.0
+        return sum(values) / len(values)
+
+    def __len__(self) -> int:
+        return len(self._stats)

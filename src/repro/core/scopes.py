@@ -1,0 +1,126 @@
+"""Query scope bookkeeping (§2 definitions).
+
+* **Global query scope** ``GS(q)`` — all vertices activated by query ``q``
+  within the monitoring window of μ seconds.
+* **Local query scope** ``LS(q, w)`` — the subset of ``GS(q)`` assigned to
+  worker ``w`` under the current assignment ``A``.
+* **Intersection function** ``I_w`` — the number of vertices shared between
+  local query scopes on a worker; the controller aggregates these into
+  global intersections, which drive the query clustering of the Q-cut
+  preprocessing step.
+
+The controller stores each ``GS(q)`` as a vertex set and *derives* the local
+scopes from the assignment array — a single source of truth that stays
+consistent through repartitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
+
+__all__ = ["QueryScopes", "pairwise_intersections"]
+
+
+class QueryScopes:
+    """Tracks global scopes and derives local-scope statistics."""
+
+    def __init__(self) -> None:
+        self._scopes: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def add_activations(self, query_id: int, vertices: Iterable[int]) -> None:
+        """Record vertices activated by a query (workers' stats messages)."""
+        self._scopes.setdefault(query_id, set()).update(int(v) for v in vertices)
+
+    def drop(self, query_id: int) -> None:
+        """Forget a query (window eviction)."""
+        self._scopes.pop(query_id, None)
+
+    def queries(self) -> List[int]:
+        """Ids of all tracked queries."""
+        return sorted(self._scopes)
+
+    def global_scope(self, query_id: int) -> Set[int]:
+        """``GS(q)`` — empty set when unknown."""
+        return self._scopes.get(query_id, set())
+
+    def global_scope_size(self, query_id: int) -> int:
+        """``|GS(q)|``."""
+        return len(self._scopes.get(query_id, ()))
+
+    # ------------------------------------------------------------------
+    def local_scope(self, query_id: int, worker: int, assignment: np.ndarray) -> Set[int]:
+        """``LS(q, w)`` under the given assignment."""
+        scope = self._scopes.get(query_id)
+        if not scope:
+            return set()
+        return {v for v in scope if assignment[v] == worker}
+
+    def local_scope_sizes(self, query_id: int, assignment: np.ndarray, k: int) -> np.ndarray:
+        """Vector of ``|LS(q, w)|`` for all workers."""
+        scope = self._scopes.get(query_id)
+        sizes = np.zeros(k, dtype=np.int64)
+        if scope:
+            owners = assignment[np.fromiter(scope, dtype=np.int64, count=len(scope))]
+            counts = np.bincount(owners, minlength=k)
+            sizes[: counts.size] = counts[:k]
+        return sizes
+
+    def spanning_workers(self, query_id: int, assignment: np.ndarray) -> Set[int]:
+        """Workers with non-empty local scope (the query-cut contribution)."""
+        scope = self._scopes.get(query_id)
+        if not scope:
+            return set()
+        owners = assignment[np.fromiter(scope, dtype=np.int64, count=len(scope))]
+        return set(int(w) for w in np.unique(owners))
+
+    # ------------------------------------------------------------------
+    def query_cut(self, assignment: np.ndarray) -> int:
+        """The query-cut metric of §2.
+
+        ``sum_q |{w in W : LS(q, w) != {}}|`` — the number of non-empty local
+        query scopes across all tracked queries.  A query fully local on one
+        worker contributes 1; the theoretical minimum is ``|Q|``.
+        """
+        return sum(
+            len(self.spanning_workers(q, assignment)) for q in self._scopes
+        )
+
+    def query_cut_excess(self, assignment: np.ndarray) -> int:
+        """Query-cut minus its minimum ``|Q|`` (the figure-1 counting).
+
+        Figure 1 labels a partitioning that splits no query with
+        ``|Query-cut| = 0``; that corresponds to this excess form.
+        """
+        nonempty = [
+            len(self.spanning_workers(q, assignment))
+            for q in self._scopes
+            if self._scopes[q]
+        ]
+        return int(sum(nonempty) - len(nonempty))
+
+
+def pairwise_intersections(
+    scopes: Dict[int, Set[int]], min_overlap: int = 1
+) -> Dict[Tuple[int, int], int]:
+    """Global intersection sizes ``|GS(qi) ∩ GS(qj)|`` for all query pairs.
+
+    Uses an inverted vertex -> queries index so the cost is proportional to
+    the total overlap rather than ``|Q|^2`` set intersections.
+    """
+    inverted: Dict[int, List[int]] = {}
+    for qid, scope in scopes.items():
+        for v in scope:
+            inverted.setdefault(v, []).append(qid)
+    counts: Dict[Tuple[int, int], int] = {}
+    for members in inverted.values():
+        if len(members) < 2:
+            continue
+        members = sorted(members)
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                key = (members[i], members[j])
+                counts[key] = counts.get(key, 0) + 1
+    return {k: c for k, c in counts.items() if c >= min_overlap}

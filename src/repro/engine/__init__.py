@@ -1,0 +1,20 @@
+"""Multi-query vertex-centric engine over the simulated cluster."""
+
+from repro.engine.barriers import BarrierKind, SyncMode
+from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.engine.query import Query, QueryRuntime
+from repro.engine.vertex_program import ComputeContext, VertexProgram
+from repro.engine.worker import IterationResult, SimWorker
+
+__all__ = [
+    "SyncMode",
+    "BarrierKind",
+    "EngineConfig",
+    "QGraphEngine",
+    "Query",
+    "QueryRuntime",
+    "VertexProgram",
+    "ComputeContext",
+    "SimWorker",
+    "IterationResult",
+]

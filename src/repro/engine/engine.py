@@ -1,0 +1,614 @@
+"""The Q-Graph multi-query engine (discrete-event simulated).
+
+This module orchestrates everything the paper's Figure 2 shows: workers
+executing vertex functions on a partitioned graph, the centralized
+controller handling barrier synchronization, statistics aggregation and
+adaptive repartitioning, and the user-facing ``scheduleQuery`` front-end.
+
+The engine runs in *virtual time*: worker CPUs are serial resources
+(``busy_until`` clocks), message batches pay serialization + network costs
+according to the cluster's link models, and barriers are controller
+round-trips.  All orderings are deterministic.
+
+Synchronization modes (see :mod:`repro.engine.barriers`):
+
+* ``HYBRID`` — the paper's model.  Queries on a single worker run under a
+  *local query barrier* with no controller round-trip; queries spanning
+  several workers synchronize via *limited query barriers* involving only
+  those workers; repartitioning uses a *global STOP/START barrier*.
+* ``GLOBAL_PER_QUERY`` — Seraph-style [44]: per-query barriers spanning all
+  workers (non-involved workers still process barrier acks).
+* ``SHARED_BSP`` — Pregel-style: one barrier shared by all queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.controller import Controller, MovePlan
+from repro.engine.barriers import SyncMode
+from repro.engine.query import Query, QueryRuntime
+from repro.engine.vertex_program import reduce_aggregator
+from repro.engine.worker import SimWorker
+from repro.errors import EngineError
+from repro.graph.digraph import DiGraph
+from repro.simulation.cluster import ClusterSpec
+from repro.simulation.events import EventQueue
+from repro.simulation.tracing import MetricsTrace, RepartitionRecord
+
+__all__ = ["EngineConfig", "QGraphEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-level knobs.
+
+    Attributes
+    ----------
+    sync_mode:
+        Barrier synchronization model.
+    max_parallel_queries:
+        Queries executing concurrently (the paper runs "batches of 16
+        parallel queries"); further queries wait in an admission queue.
+    adaptive:
+        Whether the controller's Q-cut adaptation loop is active.
+    vertex_state_bytes:
+        Bytes transferred per vertex during repartitioning moves.
+    local_barrier_cost:
+        CPU seconds a worker spends on a purely local barrier.
+    """
+
+    sync_mode: SyncMode = SyncMode.HYBRID
+    max_parallel_queries: int = 16
+    adaptive: bool = True
+    vertex_state_bytes: int = 48
+    local_barrier_cost: float = 1.0e-6
+    max_events: int = 50_000_000
+
+
+class QGraphEngine:
+    """Controller + workers + event loop over a partitioned graph."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        cluster: ClusterSpec,
+        assignment: np.ndarray,
+        controller: Optional[Controller] = None,
+        config: Optional[EngineConfig] = None,
+        trace: Optional[MetricsTrace] = None,
+    ) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (graph.num_vertices,):
+            raise EngineError("assignment shape does not match graph")
+        if assignment.size and assignment.max() >= cluster.num_workers:
+            raise EngineError("assignment references worker beyond cluster size")
+        self.graph = graph
+        self.cluster = cluster
+        self.assignment = assignment.copy()
+        self.config = config or EngineConfig()
+        self.controller = controller or Controller(cluster.num_workers)
+        if self.controller.k != cluster.num_workers:
+            raise EngineError("controller worker count != cluster worker count")
+        self.trace = trace or MetricsTrace()
+        self.queue = EventQueue()
+        self.workers = [
+            SimWorker(w, cluster.machine) for w in range(cluster.num_workers)
+        ]
+        self.runtimes: Dict[int, QueryRuntime] = {}
+        self.pending: deque = deque()
+        self.running: Set[int] = set()
+        #: per-query vertices activated since the last controller update
+        self._activated: Dict[int, List[int]] = {}
+        # --- repartitioning state ---
+        self.paused = False
+        self._stop_scheduled = False
+        self._outstanding = 0
+        self._held_resolutions: List[int] = []
+        self._held_tasks: List[Tuple[int, int]] = []
+        self._pending_plan: Optional[MovePlan] = None
+        self._qcut_trigger_time = 0.0
+        # --- shared-BSP state ---
+        self._bsp_in_progress = False
+        self._bsp_outstanding = 0
+        self._bsp_waiting: List[Query] = []
+        self._bsp_participants: Set[int] = set()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, query: Query, arrival_time: float = 0.0) -> None:
+        """``scheduleQuery(q)`` — enqueue a query arrival."""
+        if query.query_id in self.runtimes:
+            raise EngineError(f"duplicate query id {query.query_id}")
+        self.runtimes[query.query_id] = QueryRuntime(query)  # placeholder slot
+        del self.runtimes[query.query_id]
+        self.queue.schedule(arrival_time, "arrival", query=query)
+
+    def run(self, until: Optional[float] = None) -> MetricsTrace:
+        """Process events until quiescence (or virtual time ``until``)."""
+        while True:
+            event = self.queue.pop()
+            if event is None:
+                break
+            if until is not None and event.time > until:
+                break
+            self._events_processed += 1
+            if self._events_processed > self.config.max_events:
+                raise EngineError("event budget exhausted — runaway simulation?")
+            handler = getattr(self, f"_on_{event.kind}", None)
+            if handler is None:
+                raise EngineError(f"no handler for event kind {event.kind!r}")
+            handler(event.time, **event.payload)
+        return self.trace
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def query_result(self, query_id: int):
+        """Answer of a finished query."""
+        qr = self.runtimes.get(query_id)
+        if qr is None:
+            raise EngineError(f"unknown query {query_id}")
+        return qr.snapshot_result(self.graph)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _ctrl_latency(self, worker: int) -> float:
+        return self.cluster.controller_link(worker).control_latency
+
+    def _dispatch_cost(self) -> float:
+        return self.cluster.machine.controller_dispatch_time
+
+    # ------------------------------------------------------------------
+    # event: query arrival / admission
+    # ------------------------------------------------------------------
+    def _on_arrival(self, now: float, query: Query) -> None:
+        if self.paused or len(self.running) >= self.config.max_parallel_queries:
+            self.pending.append(query)
+            return
+        self._start_query(query, now)
+
+    def _admit_pending(self, now: float) -> None:
+        while (
+            self.pending
+            and not self.paused
+            and len(self.running) < self.config.max_parallel_queries
+        ):
+            self._start_query(self.pending.popleft(), now)
+
+    def _start_query(self, query: Query, now: float) -> None:
+        qr = QueryRuntime(query)
+        self.runtimes[query.query_id] = qr
+        self.running.add(query.query_id)
+        self._activated[query.query_id] = []
+        self.controller.on_query_started(query.query_id, now)
+        self.trace.query_started(query.query_id, query.kind, now, query.phase)
+
+        for vertex, message in query.program.init_messages(
+            self.graph, query.initial_vertices
+        ):
+            owner = int(self.assignment[vertex])
+            qr.deliver(owner, vertex, message, to_next=True)
+        qr.rotate_mailboxes()
+        qr.involved = set(qr.mailboxes)
+
+        if not qr.involved:  # degenerate: no seed messages
+            self._finish_query(query.query_id, now)
+            return
+
+        if self.config.sync_mode is SyncMode.SHARED_BSP:
+            self._bsp_waiting.append(query)
+            if not self._bsp_in_progress:
+                self._bsp_begin_superstep(now)
+            return
+
+        # controller forwards executeQuery(q) to the involved workers
+        for w in sorted(qr.involved):
+            self.queue.schedule(
+                now + self._dispatch_cost() + self._ctrl_latency(w),
+                "task_ready",
+                query_id=query.query_id,
+                worker=w,
+            )
+        if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+            # Seraph-style: the very first barrier already spans all workers
+            for w in range(self.cluster.num_workers):
+                if w not in qr.involved:
+                    self.queue.schedule(
+                        now + self._dispatch_cost() + self._ctrl_latency(w),
+                        "ack_task_ready",
+                        query_id=query.query_id,
+                        worker=w,
+                    )
+
+    # ------------------------------------------------------------------
+    # event: a compute task becomes ready on a worker
+    # ------------------------------------------------------------------
+    def _on_task_ready(self, now: float, query_id: int, worker: int) -> None:
+        if self.paused:
+            self._held_tasks.append((query_id, worker))
+            self._maybe_begin_stop(now)
+            return
+        qr = self.runtimes[query_id]
+        if qr.finished or worker not in qr.mailboxes:
+            return  # stale dispatch (e.g. after a repartitioning rebucket)
+        self._execute_compute(qr, worker, now)
+
+    def _execute_compute(self, qr: QueryRuntime, worker: int, now: float) -> None:
+        w = self.workers[worker]
+        result = w.execute_iteration(qr, self.graph, self.assignment)
+        duration = w.compute_duration(
+            result,
+            lambda dest, count: self.cluster.link(worker, dest).serialize_time(count),
+            deserialize_time=self.cluster.intra_node.deserialize_time(
+                result.remote_inbound
+            ),
+        )
+        start, finish = w.occupy(now, duration)
+        self._outstanding += 1
+        if result.executed_vertices:
+            self.trace.vertices_executed(worker, start, result.executed_vertices)
+        self.trace.local_messages += result.local_messages
+        for dest, count in result.remote_messages.items():
+            link = self.cluster.link(worker, dest)
+            arrival = finish + link.transfer_time(count)
+            qr.inbox_ready[dest] = max(qr.inbox_ready.get(dest, 0.0), arrival)
+            self.trace.remote_messages += count
+            self.trace.remote_batches += link.num_batches(count)
+        if result.activated:
+            self._activated.setdefault(qr.query.query_id, []).extend(result.activated)
+        self.queue.schedule(
+            finish,
+            "compute_done",
+            query_id=qr.query.query_id,
+            worker=worker,
+            had_remote=bool(result.remote_messages),
+        )
+
+    # ------------------------------------------------------------------
+    # event: compute finished -> barrier protocol
+    # ------------------------------------------------------------------
+    def _on_compute_done(
+        self, now: float, query_id: int, worker: int, had_remote: bool
+    ) -> None:
+        self._outstanding -= 1
+        qr = self.runtimes[query_id]
+
+        if self.config.sync_mode is SyncMode.SHARED_BSP:
+            self._bsp_outstanding -= 1
+            qr.acked.add(worker)
+            if self._bsp_outstanding == 0:
+                self._bsp_resolve_superstep(now)
+            return
+
+        local_candidate = (
+            self.config.sync_mode is SyncMode.HYBRID
+            and qr.involved == {worker}
+            and not had_remote
+            and not self.paused
+        )
+        if local_candidate:
+            # local query barrier: resolve on the worker, no controller trip
+            w = self.workers[worker]
+            _start, finish = w.occupy(now, self.config.local_barrier_cost)
+            self._resolve_query_barrier(qr, finish, local=True)
+        else:
+            self.trace.barrier_acks += 1
+            self.queue.schedule(
+                now + self._ctrl_latency(worker),
+                "barrier_ack",
+                query_id=query_id,
+                worker=worker,
+            )
+
+        if self.paused:
+            self._maybe_begin_stop(now)
+
+    def _on_barrier_ack(self, now: float, query_id: int, worker: int) -> None:
+        qr = self.runtimes[query_id]
+        if qr.finished:
+            return
+        qr.acked.add(worker)
+        required = self._required_ackers(qr)
+        if required.issubset(qr.acked):
+            # the controller handles each ack message before releasing
+            processing = self._dispatch_cost() * max(len(qr.acked), 1)
+            self._resolve_query_barrier(qr, now + processing, local=False)
+
+    def _required_ackers(self, qr: QueryRuntime) -> Set[int]:
+        if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+            return set(range(self.cluster.num_workers))
+        return set(qr.involved)
+
+    # ------------------------------------------------------------------
+    # barrier resolution (limited / local / global-per-query)
+    # ------------------------------------------------------------------
+    def _resolve_query_barrier(self, qr: QueryRuntime, now: float, local: bool) -> None:
+        query_id = qr.query.query_id
+        self._reduce_aggregators(qr)
+        involved_count = len(qr.involved)
+        self.controller.on_iteration(
+            query_id,
+            involved_count,
+            self._activated.pop(query_id, []),
+            now,
+        )
+        self._activated[query_id] = []
+        self.trace.iteration_executed(query_id, involved_count)
+
+        if self.paused:
+            qr.release_pending = True
+            self._held_resolutions.append(query_id)
+            return
+
+        next_involved = qr.next_involved_workers()
+        if not next_involved:
+            self._finish_query(query_id, now)
+            self._maybe_trigger_adaptation(now)
+            return
+
+        inbox_ready = dict(qr.inbox_ready)
+        qr.rotate_mailboxes()
+        qr.iteration += 1
+        qr.involved = next_involved
+        qr.acked = set()
+
+        if local and next_involved == set(qr.mailboxes) and involved_count == 1:
+            only = next(iter(next_involved))
+            if only in qr.mailboxes and len(next_involved) == 1:
+                # stay in local mode: continue immediately on the same worker
+                self.queue.schedule(
+                    now, "task_ready", query_id=query_id, worker=only
+                )
+                self._maybe_trigger_adaptation(now)
+                return
+
+        self.trace.barrier_releases += 1
+        if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+            # every worker takes part in the barrier, involved or not
+            for w in range(self.cluster.num_workers):
+                if w not in next_involved:
+                    self.queue.schedule(
+                        now + self._ctrl_latency(w),
+                        "ack_task_ready",
+                        query_id=query_id,
+                        worker=w,
+                    )
+        for w in sorted(next_involved):
+            delivered = now + self._ctrl_latency(w)
+            ready = max(delivered, inbox_ready.get(w, 0.0))
+            self.queue.schedule(ready, "task_ready", query_id=query_id, worker=w)
+        self._maybe_trigger_adaptation(now)
+
+    def _on_ack_task_ready(self, now: float, query_id: int, worker: int) -> None:
+        """A non-involved worker processes a (redundant) global barrier ack."""
+        qr = self.runtimes[query_id]
+        if qr.finished:
+            return
+        w = self.workers[worker]
+        _start, finish = w.occupy(now, self.cluster.machine.barrier_ack_time)
+        self.trace.barrier_acks += 1
+        self.queue.schedule(
+            finish + self._ctrl_latency(worker),
+            "barrier_ack",
+            query_id=query_id,
+            worker=worker,
+        )
+
+    def _reduce_aggregators(self, qr: QueryRuntime) -> None:
+        specs = qr.query.program.aggregators()
+        if not specs:
+            qr.agg_partials.clear()
+            return
+        for _w, partials in qr.agg_partials.items():
+            for name, partial in partials.items():
+                qr.agg_committed[name] = reduce_aggregator(
+                    specs[name], qr.agg_committed[name], partial
+                )
+        qr.agg_partials.clear()
+
+    def _finish_query(self, query_id: int, now: float) -> None:
+        qr = self.runtimes[query_id]
+        qr.finished = True
+        self.running.discard(query_id)
+        self.trace.query_finished(query_id, now)
+        self.controller.on_query_finished(query_id, now)
+        self._admit_pending(now)
+
+    # ------------------------------------------------------------------
+    # shared-BSP mode
+    # ------------------------------------------------------------------
+    def _bsp_begin_superstep(self, now: float) -> None:
+        if self.paused:
+            return
+        self._bsp_waiting.clear()
+        participants: List[Tuple[int, int]] = []
+        self._bsp_participants: Set[int] = set()
+        for query_id in sorted(self.running):
+            qr = self.runtimes[query_id]
+            qr.acked = set()
+            qr.involved = set(qr.mailboxes)
+            if qr.involved:
+                self._bsp_participants.add(query_id)
+            for w in sorted(qr.involved):
+                participants.append((query_id, w))
+        if not participants:
+            self._bsp_in_progress = False
+            return
+        self._bsp_in_progress = True
+        self._bsp_outstanding = len(participants)
+        for query_id, w in participants:
+            qr = self.runtimes[query_id]
+            ready = max(now + self._ctrl_latency(w), qr.inbox_ready.get(w, 0.0))
+            self.queue.schedule(
+                ready, "bsp_compute", query_id=query_id, worker=w
+            )
+
+    def _on_bsp_compute(self, now: float, query_id: int, worker: int) -> None:
+        qr = self.runtimes[query_id]
+        if worker not in qr.mailboxes:
+            self._bsp_outstanding -= 1
+            if self._bsp_outstanding == 0:
+                self._bsp_resolve_superstep(now)
+            return
+        self._execute_compute(qr, worker, now)
+
+    def _bsp_resolve_superstep(self, now: float) -> None:
+        # every worker participates in the shared barrier
+        ack_finish = now
+        for w in self.workers:
+            _s, finish = w.occupy(w.busy_until, self.cluster.machine.barrier_ack_time)
+            ack_finish = max(ack_finish, finish + self._ctrl_latency(w.wid))
+        resolve = ack_finish + self._dispatch_cost()
+        self.trace.barrier_releases += 1
+        self.trace.barrier_acks += self.cluster.num_workers
+
+        # only queries that took part in this superstep advance; queries that
+        # arrived mid-superstep keep their seed mailbox for the next one
+        for query_id in sorted(self._bsp_participants):
+            qr = self.runtimes[query_id]
+            if qr.finished:
+                continue
+            self._reduce_aggregators(qr)
+            involved_count = len(qr.involved)
+            self.controller.on_iteration(
+                query_id,
+                involved_count,
+                self._activated.pop(query_id, []),
+                resolve,
+            )
+            self._activated[query_id] = []
+            self.trace.iteration_executed(query_id, involved_count)
+            qr.rotate_mailboxes()
+            qr.iteration += 1
+            if not qr.mailboxes:
+                self._finish_query(query_id, resolve)
+        self._bsp_participants = set()
+        self._bsp_in_progress = False
+        self._maybe_trigger_adaptation(resolve)
+        if self.paused:
+            self._maybe_begin_stop(resolve)
+            return
+        self.queue.schedule(resolve, "bsp_next")
+
+    def _on_bsp_next(self, now: float) -> None:
+        if not self._bsp_in_progress:
+            self._bsp_begin_superstep(now)
+
+    # ------------------------------------------------------------------
+    # adaptation: async Q-cut + global STOP/START barrier (§3.4)
+    # ------------------------------------------------------------------
+    def _maybe_trigger_adaptation(self, now: float) -> None:
+        if not self.config.adaptive or self.paused:
+            return
+        if self.controller.should_trigger_qcut(now, self.assignment):
+            duration = self.controller.begin_qcut(self.assignment, now)
+            self._qcut_trigger_time = now
+            self.queue.schedule(now + duration, "qcut_done")
+
+    def _on_qcut_done(self, now: float) -> None:
+        plan = self.controller.complete_qcut(now)
+        if not plan:
+            return
+        self._pending_plan = plan
+        self.paused = True
+        self._stop_scheduled = False
+        self._maybe_begin_stop(now)
+
+    def _maybe_begin_stop(self, now: float) -> None:
+        if not self.paused or self._stop_scheduled:
+            return
+        if self._outstanding > 0:
+            return
+        self._stop_scheduled = True
+        # STOP barrier: all workers ack the halt
+        stop_time = now
+        for w in self.workers:
+            _s, finish = w.occupy(
+                max(w.busy_until, now), self.cluster.machine.barrier_ack_time
+            )
+            stop_time = max(stop_time, finish + self._ctrl_latency(w.wid))
+        self.queue.schedule(stop_time, "global_stop")
+
+    def _on_global_stop(self, now: float) -> None:
+        plan = self._pending_plan
+        self._pending_plan = None
+        assert plan is not None
+        moved_total = 0
+        link_times: List[float] = [0.0]
+        for move in plan.moves:
+            mask = self.assignment[move.vertices] == move.src
+            vertices = move.vertices[mask]
+            if vertices.size == 0:
+                continue
+            self.assignment[vertices] = move.dst
+            moved_total += int(vertices.size)
+            link = self.cluster.link(move.src, move.dst)
+            payload = vertices.size * self.config.vertex_state_bytes
+            link_times.append(link.latency + payload / link.bandwidth)
+        duration = max(link_times)
+        for qr in self.runtimes.values():
+            if not qr.finished:
+                qr.rebucket(self.assignment)
+        self.trace.repartitioned(
+            RepartitionRecord(
+                time=now,
+                moved_vertices=moved_total,
+                num_moves=len(plan.moves),
+                barrier_duration=(now + duration) - self._qcut_trigger_time,
+                cost_before=plan.cost_before,
+                cost_after=plan.cost_after,
+            )
+        )
+        self.queue.schedule(now + duration, "global_start")
+
+    def _on_global_start(self, now: float) -> None:
+        self.paused = False
+        self._stop_scheduled = False
+        held_res = list(dict.fromkeys(self._held_resolutions))
+        self._held_resolutions.clear()
+        held_tasks = list(dict.fromkeys(self._held_tasks))
+        self._held_tasks.clear()
+
+        if self.config.sync_mode is SyncMode.SHARED_BSP:
+            self._admit_pending(now)
+            self.queue.schedule(now, "bsp_next")
+            return
+
+        # stage A: queries whose barrier resolution was deferred
+        for query_id in held_res:
+            qr = self.runtimes[query_id]
+            if qr.finished:
+                continue
+            qr.release_pending = False
+            self._resolve_query_barrier(qr, now, local=False)
+
+        # stage B: released queries whose compute dispatch was deferred
+        seen: Set[int] = set(held_res)
+        for query_id, _w in held_tasks:
+            if query_id in seen:
+                continue
+            seen.add(query_id)
+            qr = self.runtimes[query_id]
+            if qr.finished:
+                continue
+            owners = set(qr.mailboxes)
+            qr.involved = qr.acked | owners
+            for w in sorted(owners):
+                self.queue.schedule(
+                    now + self._ctrl_latency(w),
+                    "task_ready",
+                    query_id=query_id,
+                    worker=w,
+                )
+            if not owners and self._required_ackers(qr).issubset(qr.acked):
+                self._resolve_query_barrier(qr, now, local=False)
+        self._admit_pending(now)

@@ -1,0 +1,141 @@
+"""Query definition and per-query runtime state.
+
+§2: *"We define a query q as a tuple (f, Vsub) of a vertex function f and an
+initial subset of active vertices Vsub ⊆ V."*  :class:`Query` is that tuple
+plus bookkeeping labels; :class:`QueryRuntime` is the engine-internal mutable
+execution state (query-local vertex data, per-worker mailboxes, barrier
+bookkeeping) — the "separate query-specific vertex data" that prevents write
+conflicts between parallel queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import QueryError
+from repro.engine.vertex_program import VertexProgram
+
+__all__ = ["Query", "QueryRuntime"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """An analytics query: vertex function + initial active vertices.
+
+    Attributes
+    ----------
+    query_id:
+        Unique id assigned by the submitter.
+    program:
+        The vertex function ``f`` (a :class:`VertexProgram`).
+    initial_vertices:
+        ``Vsub`` — e.g. ``(start,)`` for SSSP.
+    phase:
+        Free-form experiment label (e.g. ``"intra"`` / ``"inter"`` for the
+        Fig. 5 disturbance phases); carried into the metric trace.
+    """
+
+    query_id: int
+    program: VertexProgram
+    initial_vertices: Tuple[int, ...]
+    phase: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.initial_vertices:
+            raise QueryError(f"query {self.query_id} has empty Vsub")
+
+    @property
+    def kind(self) -> str:
+        return self.program.kind
+
+
+class QueryRuntime:
+    """Mutable engine-side execution state of one running query."""
+
+    __slots__ = (
+        "query",
+        "state",
+        "mailboxes",
+        "next_mailboxes",
+        "inbox_ready",
+        "pending_remote_inbound",
+        "iteration",
+        "involved",
+        "acked",
+        "agg_committed",
+        "agg_partials",
+        "scope",
+        "finished",
+        "release_pending",
+    )
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        #: query-local vertex data Dv (sparse: only activated vertices)
+        self.state: Dict[int, Any] = {}
+        #: worker -> {vertex -> combined message} for the *current* iteration
+        self.mailboxes: Dict[int, Dict[int, Any]] = {}
+        #: worker -> {vertex -> combined message} being filled for the next one
+        self.next_mailboxes: Dict[int, Dict[int, Any]] = {}
+        #: worker -> virtual time when its inbox for the next iteration is complete
+        self.inbox_ready: Dict[int, float] = {}
+        #: worker -> raw remote messages awaiting deserialization there
+        self.pending_remote_inbound: Dict[int, int] = {}
+        self.iteration = 0
+        #: workers participating in the current iteration
+        self.involved: Set[int] = set()
+        #: workers whose barrierSynch arrived for the current iteration
+        self.acked: Set[int] = set()
+        #: committed aggregator values (visible to compute this iteration)
+        self.agg_committed: Dict[str, Any] = {}
+        #: per-worker aggregator partials gathered during the current iteration
+        self.agg_partials: Dict[int, Dict[str, Any]] = {}
+        #: global query scope GS(q): every vertex activated so far
+        self.scope: Set[int] = set()
+        self.finished = False
+        #: set when a barrier resolution was deferred by a global STOP
+        self.release_pending = False
+
+        for name, (_fn, identity) in query.program.aggregators().items():
+            self.agg_committed[name] = identity
+
+    # ------------------------------------------------------------------
+    def deliver(self, worker: int, vertex: int, message: Any, to_next: bool = True) -> None:
+        """Merge a message into a worker's (next-)iteration mailbox."""
+        target = self.next_mailboxes if to_next else self.mailboxes
+        box = target.setdefault(worker, {})
+        if vertex in box:
+            box[vertex] = self.query.program.combine(box[vertex], message)
+        else:
+            box[vertex] = message
+
+    def rotate_mailboxes(self) -> None:
+        """Promote next-iteration mailboxes to current (at barrier release)."""
+        self.mailboxes = {w: box for w, box in self.next_mailboxes.items() if box}
+        self.next_mailboxes = {}
+        self.inbox_ready = {}
+
+    def next_involved_workers(self) -> Set[int]:
+        """Workers that will participate in the next iteration."""
+        return {w for w, box in self.next_mailboxes.items() if box}
+
+    def rebucket(self, assignment) -> None:
+        """Re-home mailbox entries after vertices moved between workers."""
+        for attr in ("mailboxes", "next_mailboxes"):
+            old: Dict[int, Dict[int, Any]] = getattr(self, attr)
+            fresh: Dict[int, Dict[int, Any]] = {}
+            for _w, box in old.items():
+                for v, msg in box.items():
+                    fresh.setdefault(int(assignment[v]), {})[v] = msg
+            setattr(self, attr, fresh)
+
+    def snapshot_result(self, graph) -> Any:
+        """The query answer per the program's result extractor."""
+        return self.query.program.result(self.state, graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryRuntime(q={self.query.query_id}, it={self.iteration}, "
+            f"involved={sorted(self.involved)}, finished={self.finished})"
+        )

@@ -1,0 +1,60 @@
+"""Graph substrate: CSR storage, builders, IO, generators, metrics."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    NY_CUTS,
+    NY_DISTRICT_NAMES,
+    NY_QUERY_SCOPES,
+    barabasi_albert,
+    erdos_renyi,
+    grid_graph,
+    new_york_districts,
+    random_geometric,
+    watts_strogatz,
+)
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.metrics import (
+    edge_balance,
+    edge_cut,
+    partition_sizes,
+    replication_factor,
+    vertex_balance,
+    vertex_cut,
+)
+from repro.graph.road_network import (
+    City,
+    RoadNetwork,
+    baden_wuerttemberg_like,
+    generate_road_network,
+    germany_like,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "new_york_districts",
+    "NY_CUTS",
+    "NY_DISTRICT_NAMES",
+    "NY_QUERY_SCOPES",
+    "grid_graph",
+    "erdos_renyi",
+    "random_geometric",
+    "watts_strogatz",
+    "barabasi_albert",
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "edge_cut",
+    "vertex_cut",
+    "vertex_balance",
+    "edge_balance",
+    "partition_sizes",
+    "replication_factor",
+    "City",
+    "RoadNetwork",
+    "generate_road_network",
+    "baden_wuerttemberg_like",
+    "germany_like",
+]

@@ -1,0 +1,61 @@
+"""Partitioner interface.
+
+A *partitioning* in this library is simply a numpy ``int64`` array mapping
+each vertex id to a worker id in ``[0, k)`` — the assignment function
+``A : V -> W`` of §2 at a fixed point in time.  Dynamic reassignment (the
+``A : V x T -> W`` of the paper) is carried out by the engine applying the
+controller's move requests on top of an initial static partitioning.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["Partitioner", "validate_partitioning"]
+
+
+class Partitioner(abc.ABC):
+    """Strategy interface for computing an initial static partitioning."""
+
+    #: Human-readable name used in benchmark reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def partition(self, graph: DiGraph, k: int) -> np.ndarray:
+        """Assign every vertex of ``graph`` to one of ``k`` workers.
+
+        Returns
+        -------
+        numpy.ndarray
+            int64 array of shape ``(graph.num_vertices,)`` with values in
+            ``[0, k)``.
+        """
+
+    def _check_k(self, graph: DiGraph, k: int) -> None:
+        if k < 1:
+            raise PartitioningError("k must be >= 1")
+        if graph.num_vertices > 0 and k > graph.num_vertices:
+            raise PartitioningError(
+                f"cannot split {graph.num_vertices} vertices into {k} parts"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def validate_partitioning(graph: DiGraph, assignment: np.ndarray, k: int) -> None:
+    """Raise :class:`PartitioningError` unless ``assignment`` is well formed."""
+    assignment = np.asarray(assignment)
+    if assignment.shape != (graph.num_vertices,):
+        raise PartitioningError(
+            f"expected shape ({graph.num_vertices},), got {assignment.shape}"
+        )
+    if assignment.size == 0:
+        return
+    if assignment.min() < 0 or assignment.max() >= k:
+        raise PartitioningError("assignment values must lie in [0, k)")

@@ -1,0 +1,43 @@
+"""Hash partitioning — the paper's balanced, locality-oblivious baseline.
+
+§4.1: "Hash leads to ideal workload balancing".  A multiplicative integer
+hash (a Fibonacci/splitmix-style mixer) decorrelates the assignment from the
+spatial vertex layout, so neighbouring road junctions land on arbitrary
+workers: near-perfect vertex balance, near-zero query locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.partitioning.base import Partitioner
+
+__all__ = ["HashPartitioner"]
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer — a high-quality stateless integer mixer."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+class HashPartitioner(Partitioner):
+    """Assign vertex ``v`` to ``mix64(v + seed) mod k``."""
+
+    name = "hash"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def partition(self, graph: DiGraph, k: int) -> np.ndarray:
+        self._check_k(graph, k)
+        ids = np.arange(graph.num_vertices, dtype=np.uint64) + np.uint64(
+            self.seed & 0xFFFFFFFF
+        )
+        return (_mix64(ids) % np.uint64(k)).astype(np.int64)

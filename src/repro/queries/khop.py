@@ -1,0 +1,61 @@
+"""k-hop neighbourhood queries (the NScale-style workload of §5).
+
+NScale [33] runs queries "in a k-hop neighborhood around a specified
+vertex"; Q-Graph supports this as an ordinary query whose scope grows and
+shrinks dynamically.  The program collects every vertex within ``k`` hops,
+optionally evaluating a per-vertex predicate (e.g. counting tagged
+vertices in the neighbourhood — a social-circle statistic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.engine.vertex_program import ComputeContext, VertexProgram
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["KHopProgram"]
+
+
+class KHopProgram(VertexProgram):
+    """Collect the ``k``-hop out-neighbourhood of ``center``."""
+
+    kind = "khop"
+
+    def __init__(self, center: int, k: int) -> None:
+        if center < 0:
+            raise QueryError("center vertex must be non-negative")
+        if k < 0:
+            raise QueryError("k must be non-negative")
+        self.center = int(center)
+        self.k = int(k)
+
+    def init_messages(self, graph: DiGraph, initial_vertices: Tuple[int, ...]):
+        return [(v, 0) for v in initial_vertices]
+
+    def combine(self, a: int, b: int) -> int:
+        return a if a <= b else b
+
+    def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
+        depth = message if state is None else (message if message < state else state)
+        if state is not None and depth >= state:
+            return state
+        if depth < self.k:
+            for nbr in ctx.graph.out_neighbors(vertex):
+                ctx.send(int(nbr), depth + 1)
+        return depth
+
+    def result(self, state: Dict[int, Any], graph: DiGraph) -> Dict[str, Any]:
+        members = sorted(state)
+        tagged = 0
+        if graph.has_tags():
+            tags = graph.tags
+            tagged = sum(1 for v in members if tags[v])
+        return {
+            "center": self.center,
+            "k": self.k,
+            "size": len(members),
+            "members": members,
+            "tagged_members": tagged,
+        }

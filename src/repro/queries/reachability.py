@@ -1,0 +1,61 @@
+"""Directed reachability with early termination.
+
+A knowledge-graph style query (Application 3): "is entity B reachable from
+entity A?" — a directed BFS that stops expanding as soon as the target is
+reached, using a boolean ``found`` aggregator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.engine.vertex_program import ComputeContext, VertexProgram
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ReachabilityProgram"]
+
+
+def _or(a: bool, b: bool) -> bool:
+    return bool(a or b)
+
+
+class ReachabilityProgram(VertexProgram):
+    """Whether ``target`` is reachable from ``start`` along directed edges."""
+
+    kind = "reach"
+
+    def __init__(self, start: int, target: int) -> None:
+        if start < 0 or target < 0:
+            raise QueryError("vertices must be non-negative")
+        self.start = int(start)
+        self.target = int(target)
+
+    def init_messages(self, graph: DiGraph, initial_vertices: Tuple[int, ...]):
+        return [(v, True) for v in initial_vertices]
+
+    def combine(self, a: bool, b: bool) -> bool:
+        return True
+
+    def aggregators(self):
+        return {"found": (_or, False)}
+
+    def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
+        if state:  # already visited: nothing new to do
+            return state
+        if vertex == self.target:
+            ctx.aggregate("found", True)
+            return True
+        if ctx.aggregated("found"):
+            return True  # search already succeeded; stop expanding
+        for nbr in ctx.graph.out_neighbors(vertex):
+            ctx.send(int(nbr), True)
+        return True
+
+    def result(self, state: Dict[int, Any], graph: DiGraph) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "target": self.target,
+            "reachable": self.target in state,
+            "visited": len(state),
+        }

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate: virtual cluster, network, tracing."""
+
+from repro.simulation.cluster import C1_NODE, ClusterSpec, M1, M2, MachineProfile, make_cluster
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.network import NetworkModel, ethernet_1g, loopback_tcp, zero_cost
+from repro.simulation.tracing import MetricsTrace, QueryRecord, RepartitionRecord
+
+__all__ = [
+    "ClusterSpec",
+    "MachineProfile",
+    "make_cluster",
+    "M1",
+    "M2",
+    "C1_NODE",
+    "Event",
+    "EventQueue",
+    "NetworkModel",
+    "loopback_tcp",
+    "ethernet_1g",
+    "zero_cost",
+    "MetricsTrace",
+    "QueryRecord",
+    "RepartitionRecord",
+]

@@ -1,0 +1,92 @@
+"""Deterministic discrete-event queue.
+
+A thin wrapper over :mod:`heapq` with a monotonically increasing sequence
+number as tie-breaker so that events scheduled at the same virtual time pop
+in scheduling order — this makes the whole simulation deterministic and
+therefore testable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Ordering is by ``(time, seq)``; ``kind`` and ``payload`` are excluded
+    from comparisons.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with cancellation support."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+        self._cancelled: set = set()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Virtual time of the most recently popped event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, time: float, kind: str, **payload: Any) -> Event:
+        """Add an event; returns it (its identity can be used to cancel)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule {kind!r} at {time} before now={self._now}"
+            )
+        event = Event(time=max(time, self._now), seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event so it is skipped when popped."""
+        self._cancelled.add(event.seq)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest pending event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next pending event without popping it."""
+        while self._heap and self._heap[0].seq in self._cancelled:
+            event = heapq.heappop(self._heap)
+            self._cancelled.discard(event.seq)
+        return self._heap[0].time if self._heap else None
+
+    def drain(self) -> Tuple[Event, ...]:
+        """Pop everything (mostly useful in tests)."""
+        out = []
+        while True:
+            event = self.pop()
+            if event is None:
+                break
+            out.append(event)
+        return tuple(out)

@@ -1,0 +1,158 @@
+"""Network cost model.
+
+The paper's latency numbers are dominated by messaging costs between
+workers: serialization CPU time, TCP latency (loopback for the scale-up
+machines M1/M2, 1-Gigabit Ethernet for the C1 cluster), bandwidth, and the
+batching policy of §4.1 ("the sender thread batches vertex messages with a
+maximum of 32 vertex messages per batch and 32 kilobytes batch size").
+
+:class:`NetworkModel` captures these four knobs; the engine charges
+
+* ``serialize_time(n)``   — CPU time on the *sender* for packing n messages,
+* ``transfer_time(n)``    — wire time for a batch of n messages
+  (per-batch latency + bytes / bandwidth, with the batch split according to
+  the 32-message / 32-kB policy), and
+* ``control_latency``     — one-way latency of a small control message
+  (barrier ack / release, stats).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "loopback_tcp", "ethernet_1g", "zero_cost"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost parameters of one worker-to-worker (or worker-controller) link.
+
+    Attributes
+    ----------
+    latency:
+        One-way propagation + stack traversal latency per batch (seconds).
+    bandwidth:
+        Payload bandwidth in bytes/second.
+    serialize_per_message:
+        Sender CPU seconds per vertex message (serialization, §2's
+        "overhead for serializing and deserializing messages").
+    message_bytes:
+        Size of one vertex message on the wire.
+    batch_messages / batch_bytes:
+        Batching limits from §4.1 (32 messages / 32 kB per batch).
+    name:
+        Label used in reports.
+    """
+
+    latency: float
+    bandwidth: float
+    serialize_per_message: float = 1.0e-6
+    #: receiver CPU seconds per remote vertex message (deserialization —
+    #: the other half of §2's "serializing and deserializing messages")
+    deserialize_per_message: float = 1.5e-6
+    #: per-batch wire/stack cost (syscall + TCP segmentation per batch);
+    #: §2 calls out "passing the multi-layered TCP/IP stack" as a latency
+    #: source — each 32-message batch pays it.
+    batch_overhead: float = 5.0e-6
+    #: fixed RPC cost of a control message (framework serialization, thread
+    #: wake-up on the controller path) added on top of the wire latency
+    control_overhead: float = 0.0
+    message_bytes: int = 64
+    batch_messages: int = 32
+    batch_bytes: int = 32 * 1024
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        if self.batch_messages < 1 or self.batch_bytes < self.message_bytes:
+            raise ValueError("batching limits too small")
+
+    # ------------------------------------------------------------------
+    def num_batches(self, num_messages: int) -> int:
+        """How many wire batches ``num_messages`` vertex messages need."""
+        if num_messages <= 0:
+            return 0
+        per_batch = min(
+            self.batch_messages, max(self.batch_bytes // self.message_bytes, 1)
+        )
+        return math.ceil(num_messages / per_batch)
+
+    def serialize_time(self, num_messages: int) -> float:
+        """Sender-side CPU seconds to pack ``num_messages`` messages."""
+        return self.serialize_per_message * max(num_messages, 0)
+
+    def transfer_time(self, num_messages: int) -> float:
+        """Wire seconds for ``num_messages`` messages.
+
+        One propagation latency for the (pipelined) stream, a per-batch
+        stack-traversal overhead, and the payload at line rate.
+        """
+        if num_messages <= 0:
+            return 0.0
+        payload = num_messages * self.message_bytes
+        return (
+            self.latency
+            + self.num_batches(num_messages) * self.batch_overhead
+            + payload / self.bandwidth
+        )
+
+    def deserialize_time(self, num_messages: int) -> float:
+        """Receiver-side CPU seconds to unpack ``num_messages`` messages."""
+        return self.deserialize_per_message * max(num_messages, 0)
+
+    @property
+    def control_latency(self) -> float:
+        """One-way latency of a small control message (ack/release/stats)."""
+        return self.latency + self.control_overhead + self.message_bytes / self.bandwidth
+
+    def control_rtt(self) -> float:
+        """Round-trip of a control exchange (ack to controller + release)."""
+        return 2.0 * self.control_latency
+
+
+def loopback_tcp() -> NetworkModel:
+    """Loopback TCP between processes on one machine (scale-up: M1, M2).
+
+    ~20 us per syscall round through the local stack, effectively
+    memory-speed bandwidth.
+    """
+    return NetworkModel(
+        latency=20e-6,
+        bandwidth=4.0e9,
+        serialize_per_message=1.0e-6,
+        deserialize_per_message=1.5e-6,
+        batch_overhead=8.0e-6,
+        control_overhead=120e-6,
+        name="loopback-tcp",
+    )
+
+
+def ethernet_1g() -> NetworkModel:
+    """1-Gigabit Ethernet between cluster nodes (scale-out: C1).
+
+    ~200 us end-to-end latency for a small message, 125 MB/s line rate.
+    """
+    return NetworkModel(
+        latency=200e-6,
+        bandwidth=125e6,
+        serialize_per_message=1.0e-6,
+        deserialize_per_message=1.5e-6,
+        batch_overhead=30.0e-6,
+        control_overhead=150e-6,
+        name="ethernet-1g",
+    )
+
+
+def zero_cost() -> NetworkModel:
+    """Free network — for unit tests that isolate compute costs."""
+    return NetworkModel(
+        latency=0.0,
+        bandwidth=1e18,
+        serialize_per_message=0.0,
+        deserialize_per_message=0.0,
+        batch_overhead=0.0,
+        control_overhead=0.0,
+        name="zero-cost",
+    )

@@ -1,0 +1,214 @@
+"""Metric traces collected during a simulation run.
+
+Every figure of the paper's evaluation is a post-processing of these traces:
+
+* per-query latency records                        -> Figs. 5, 6a-c, 7
+* per-(worker, time-bucket) vertex executions      -> Fig. 6e (imbalance)
+* per-(query, iteration) locality flags            -> Fig. 6f (locality)
+* repartitioning events                            -> barrier-cost analysis
+* message counters                                 -> communication overhead
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QueryRecord", "RepartitionRecord", "MetricsTrace"]
+
+
+@dataclass
+class QueryRecord:
+    """Lifecycle facts of one executed query."""
+
+    query_id: int
+    kind: str
+    start_time: float
+    end_time: float = float("nan")
+    iterations: int = 0
+    local_iterations: int = 0
+    phase: str = "default"
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (§2's definition: last minus first activity)."""
+        return self.end_time - self.start_time
+
+    @property
+    def locality(self) -> float:
+        """Fraction of iterations executed on a single worker (§3.4 metric)."""
+        if self.iterations == 0:
+            return 1.0
+        return self.local_iterations / self.iterations
+
+
+@dataclass
+class RepartitionRecord:
+    """One adaptive repartitioning (global STOP/START barrier)."""
+
+    time: float
+    moved_vertices: int
+    num_moves: int
+    barrier_duration: float
+    cost_before: float
+    cost_after: float
+
+
+@dataclass
+class MetricsTrace:
+    """Mutable metrics sink passed through the engine."""
+
+    workload_bucket: float = 10.0
+    queries: Dict[int, QueryRecord] = field(default_factory=dict)
+    repartitions: List[RepartitionRecord] = field(default_factory=list)
+    local_messages: int = 0
+    remote_messages: int = 0
+    remote_batches: int = 0
+    barrier_acks: int = 0
+    barrier_releases: int = 0
+    #: (worker, bucket) -> number of vertex executions
+    _workload: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def query_started(self, query_id: int, kind: str, time: float, phase: str) -> None:
+        self.queries[query_id] = QueryRecord(
+            query_id=query_id, kind=kind, start_time=time, phase=phase
+        )
+
+    def query_finished(self, query_id: int, time: float) -> None:
+        self.queries[query_id].end_time = time
+
+    def iteration_executed(self, query_id: int, num_workers_involved: int) -> None:
+        record = self.queries[query_id]
+        record.iterations += 1
+        if num_workers_involved <= 1:
+            record.local_iterations += 1
+
+    def vertices_executed(self, worker: int, time: float, count: int) -> None:
+        bucket = int(time / self.workload_bucket)
+        key = (worker, bucket)
+        self._workload[key] = self._workload.get(key, 0) + count
+
+    def repartitioned(self, record: RepartitionRecord) -> None:
+        self.repartitions.append(record)
+
+    # ------------------------------------------------------------------
+    # aggregations used by the benchmark harness
+    # ------------------------------------------------------------------
+    def finished_queries(self) -> List[QueryRecord]:
+        """Records of all queries that have completed."""
+        return [q for q in self.queries.values() if not np.isnan(q.end_time)]
+
+    def total_latency(self, phase: Optional[str] = None) -> float:
+        """Sum of query latencies (Fig. 6a-c reporting)."""
+        return float(
+            sum(
+                q.latency
+                for q in self.finished_queries()
+                if phase is None or q.phase == phase
+            )
+        )
+
+    def mean_latency(self, phase: Optional[str] = None) -> float:
+        """Average query latency."""
+        latencies = [
+            q.latency
+            for q in self.finished_queries()
+            if phase is None or q.phase == phase
+        ]
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def makespan(self) -> float:
+        """First start to last finish (Fig. 7's "total query latency")."""
+        finished = self.finished_queries()
+        if not finished:
+            return 0.0
+        return max(q.end_time for q in finished) - min(q.start_time for q in finished)
+
+    def mean_locality(self) -> float:
+        """Average per-query locality (Fig. 6f / §4.2 claims)."""
+        finished = self.finished_queries()
+        if not finished:
+            return float("nan")
+        return float(np.mean([q.locality for q in finished]))
+
+    def latency_series(
+        self, window: float, phase: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Windowed average latency over completion time (Fig. 5 series).
+
+        Returns ``(window_end_times, mean_latency_per_window)``; empty
+        windows are skipped.
+        """
+        finished = sorted(
+            (
+                q
+                for q in self.finished_queries()
+                if phase is None or q.phase == phase
+            ),
+            key=lambda q: q.end_time,
+        )
+        if not finished:
+            return np.empty(0), np.empty(0)
+        t_end = finished[-1].end_time
+        times, values = [], []
+        start = 0.0
+        while start <= t_end:
+            bucket = [
+                q.latency for q in finished if start <= q.end_time < start + window
+            ]
+            if bucket:
+                times.append(start + window)
+                values.append(float(np.mean(bucket)))
+            start += window
+        return np.asarray(times), np.asarray(values)
+
+    def locality_series(self, window: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Windowed average locality over completion time (Fig. 6f series)."""
+        finished = sorted(self.finished_queries(), key=lambda q: q.end_time)
+        if not finished:
+            return np.empty(0), np.empty(0)
+        t_end = finished[-1].end_time
+        times, values = [], []
+        start = 0.0
+        while start <= t_end:
+            bucket = [
+                q.locality for q in finished if start <= q.end_time < start + window
+            ]
+            if bucket:
+                times.append(start + window)
+                values.append(float(np.mean(bucket)))
+            start += window
+        return np.asarray(times), np.asarray(values)
+
+    def workload_imbalance_series(self, num_workers: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bucket workload imbalance (Fig. 6e).
+
+        Imbalance of a bucket is the mean absolute deviation of the per-worker
+        vertex-execution counts from their mean, relative to the mean —
+        "a worker's deviation from the average workload" (§4.2).
+        """
+        if not self._workload:
+            return np.empty(0), np.empty(0)
+        buckets = sorted({b for (_, b) in self._workload})
+        times, values = [], []
+        for b in buckets:
+            loads = np.array(
+                [self._workload.get((w, b), 0) for w in range(num_workers)],
+                dtype=np.float64,
+            )
+            mean = loads.mean()
+            if mean <= 0:
+                continue
+            times.append((b + 1) * self.workload_bucket)
+            values.append(float(np.mean(np.abs(loads - mean)) / mean))
+        return np.asarray(times), np.asarray(values)
+
+    def mean_workload_imbalance(self, num_workers: int) -> float:
+        """Run-average of :meth:`workload_imbalance_series`."""
+        _, series = self.workload_imbalance_series(num_workers)
+        return float(np.mean(series)) if series.size else float("nan")

@@ -1,0 +1,6 @@
+"""Hotspot query workload generation (§4.1 methodology)."""
+
+from repro.workload.generator import PhaseSpec, QueryTrace, WorkloadGenerator
+from repro.workload.hotspots import HotspotSampler
+
+__all__ = ["PhaseSpec", "QueryTrace", "WorkloadGenerator", "HotspotSampler"]

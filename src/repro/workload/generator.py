@@ -1,0 +1,152 @@
+"""Query workload generation.
+
+Turns the hotspot sampler into concrete :class:`~repro.engine.query.Query`
+lists organised in *phases*.  Each phase fixes the query type and the
+intra/inter-urban mix; the Figure 5 experiments use two phases (2048
+intra-urban queries followed by a disturbance of 496 inter-urban ones).
+
+All queries arrive at time 0 — the engine's admission control runs them in
+"batches of 16 parallel queries" exactly like §4.2 — but per-phase arrival
+offsets are supported for arrival-process experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine.query import Query
+from repro.errors import WorkloadError
+from repro.graph.road_network import RoadNetwork
+from repro.queries.poi import PoiProgram
+from repro.queries.sssp import SsspProgram
+from repro.workload.hotspots import HotspotSampler
+
+__all__ = ["PhaseSpec", "WorkloadGenerator", "QueryTrace"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload phase.
+
+    Attributes
+    ----------
+    num_queries:
+        Queries generated in this phase.
+    kind:
+        ``"sssp"`` or ``"poi"``.
+    intra_probability:
+        For SSSP: probability that a query is intra-urban (same city).
+        The Fig. 5 main phase uses 1.0; the disturbance phase 0.0.
+    label:
+        Phase label carried into the metric trace (e.g. ``"intra"``).
+    arrival_offset:
+        Virtual arrival time of this phase's queries.
+    """
+
+    num_queries: int
+    kind: str = "sssp"
+    intra_probability: float = 1.0
+    label: str = "default"
+    arrival_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise WorkloadError("num_queries must be non-negative")
+        if self.kind not in ("sssp", "poi"):
+            raise WorkloadError(f"unknown query kind {self.kind!r}")
+
+
+@dataclass
+class QueryTrace:
+    """A generated workload: (query, arrival time) pairs."""
+
+    entries: List[Tuple[Query, float]] = field(default_factory=list)
+
+    def submit_all(self, engine) -> None:
+        """Feed every query into an engine."""
+        for query, arrival in self.entries:
+            engine.submit(query, arrival)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.entries)
+
+    def queries(self) -> List[Query]:
+        return [q for q, _t in self.entries]
+
+
+class WorkloadGenerator:
+    """Deterministic hotspot workload builder over a road network."""
+
+    def __init__(self, road_network: RoadNetwork, seed: int = 0) -> None:
+        self.rn = road_network
+        self.sampler = HotspotSampler(road_network, seed=seed)
+        self._next_id = 0
+
+    def _fresh_id(self) -> int:
+        qid = self._next_id
+        self._next_id += 1
+        return qid
+
+    # ------------------------------------------------------------------
+    def generate(self, phases: List[PhaseSpec]) -> QueryTrace:
+        """Materialise a multi-phase workload trace."""
+        trace = QueryTrace()
+        for phase in phases:
+            for _ in range(phase.num_queries):
+                qid = self._fresh_id()
+                if phase.kind == "sssp":
+                    start, end = self.sampler.sample_sssp_endpoints(
+                        phase.intra_probability
+                    )
+                    program = SsspProgram(start=start, target=end)
+                    query = Query(
+                        query_id=qid,
+                        program=program,
+                        initial_vertices=(start,),
+                        phase=phase.label,
+                    )
+                else:
+                    start = self.sampler.sample_poi_start()
+                    program = PoiProgram(start=start)
+                    query = Query(
+                        query_id=qid,
+                        program=program,
+                        initial_vertices=(start,),
+                        phase=phase.label,
+                    )
+                trace.entries.append((query, phase.arrival_offset))
+        return trace
+
+    # ------------------------------------------------------------------
+    # canned workloads matching the paper's experiments
+    # ------------------------------------------------------------------
+    def paper_sssp_workload(
+        self,
+        main_queries: int = 2048,
+        disturbance_queries: int = 496,
+    ) -> QueryTrace:
+        """§4.2: hotspot SSSP queries followed by an inter-urban disturbance."""
+        return self.generate(
+            [
+                PhaseSpec(
+                    num_queries=main_queries,
+                    kind="sssp",
+                    intra_probability=1.0,
+                    label="intra",
+                ),
+                PhaseSpec(
+                    num_queries=disturbance_queries,
+                    kind="sssp",
+                    intra_probability=0.0,
+                    label="inter",
+                ),
+            ]
+        )
+
+    def paper_poi_workload(self, num_queries: int = 2048) -> QueryTrace:
+        """§4.2: POI query workload on hotspots."""
+        return self.generate(
+            [PhaseSpec(num_queries=num_queries, kind="poi", label="poi")]
+        )

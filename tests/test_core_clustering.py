@@ -1,0 +1,85 @@
+"""Tests for the Karger-style query clustering (Appendix A.1)."""
+
+import pytest
+
+from repro.core import UnionFind, cluster_queries
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.count == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_reduces_count(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.count == 3
+        assert uf.find(0) == uf.find(1)
+
+    def test_redundant_union(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.count == 2
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+
+class TestClusterQueries:
+    def test_empty(self):
+        assert cluster_queries([], {}, 4) == {}
+
+    def test_no_overlaps_stay_singletons(self):
+        labels = cluster_queries([1, 2, 3], {}, 8)
+        assert len(set(labels.values())) == 3
+
+    def test_overlapping_queries_merge(self):
+        labels = cluster_queries([1, 2, 3], {(1, 2): 10}, 2)
+        assert labels[1] == labels[2]
+        assert labels[3] != labels[1]
+
+    def test_respects_max_clusters(self):
+        ids = list(range(20))
+        overlaps = {(i, i + 1): 1 for i in range(19)}
+        labels = cluster_queries(ids, overlaps, 5, seed=1)
+        assert len(set(labels.values())) <= 5
+
+    def test_hard_cap_without_overlaps(self):
+        """More disjoint queries than clusters: smallest groups merge."""
+        labels = cluster_queries(list(range(10)), {}, 3, seed=2)
+        assert len(set(labels.values())) <= 3
+
+    def test_labels_dense(self):
+        labels = cluster_queries(list(range(6)), {(0, 1): 5, (2, 3): 5}, 4)
+        values = set(labels.values())
+        assert values == set(range(len(values)))
+
+    def test_heavy_overlap_contracts_first(self):
+        """Weight-biased contraction merges the strongest overlap reliably."""
+        ids = [0, 1, 2, 3]
+        overlaps = {(0, 1): 1000, (2, 3): 1}
+        merged_01 = 0
+        for seed in range(20):
+            labels = cluster_queries(ids, overlaps, 3, seed=seed)
+            if labels[0] == labels[1]:
+                merged_01 += 1
+        assert merged_01 >= 19  # essentially always
+
+    def test_deterministic(self):
+        ids = list(range(12))
+        overlaps = {(i, j): (i + j) % 5 + 1 for i in ids for j in ids if i < j}
+        a = cluster_queries(ids, overlaps, 4, seed=7)
+        b = cluster_queries(ids, overlaps, 4, seed=7)
+        assert a == b
+
+    def test_chain_contraction(self):
+        ids = list(range(6))
+        overlaps = {(i, i + 1): 2 for i in range(5)}
+        labels = cluster_queries(ids, overlaps, 1, seed=0)
+        assert len(set(labels.values())) == 1

@@ -1,0 +1,163 @@
+"""Tests for the MAPE controller (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Controller, ControllerConfig
+from repro.errors import ControllerError
+
+
+def make_controller(**overrides):
+    cfg = dict(
+        mu=100.0,
+        phi=0.7,
+        delta=0.25,
+        qcut_compute_time=1.0,
+        ils_rounds=20,
+        qcut_cooldown=5.0,
+        min_queries_for_qcut=2,
+        seed=0,
+    )
+    cfg.update(overrides)
+    return Controller(4, ControllerConfig(**cfg))
+
+
+def feed_scattered_queries(ctrl, assignment, n=4, per_query=8):
+    """Simulate n queries each activating vertices spread over all workers."""
+    rng = np.random.default_rng(1)
+    v = 0
+    for qid in range(n):
+        ctrl.on_query_started(qid, float(qid))
+        vertices = list(range(v, v + per_query))
+        v += per_query
+        ctrl.on_iteration(qid, 4, vertices, float(qid) + 0.5)
+        ctrl.on_iteration(qid, 4, [], float(qid) + 0.6)
+
+
+class TestTrigger:
+    def test_no_trigger_without_queries(self):
+        ctrl = make_controller()
+        assert not ctrl.should_trigger_qcut(10.0)
+
+    def test_triggers_on_low_locality(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment)
+        assert ctrl.average_locality() < 0.7
+        assert ctrl.should_trigger_qcut(10.0)
+
+    def test_no_trigger_when_local(self):
+        ctrl = make_controller()
+        for qid in range(4):
+            ctrl.on_query_started(qid, 0.0)
+            ctrl.on_iteration(qid, 1, [qid], 0.5)
+        assert not ctrl.should_trigger_qcut(10.0)
+
+    def test_imbalance_trigger(self):
+        """High workload skew triggers even at perfect locality (Domain case)."""
+        ctrl = make_controller()
+        # all queries hammer worker 0's vertices
+        for qid in range(4):
+            ctrl.on_query_started(qid, 0.0)
+            ctrl.on_iteration(qid, 1, list(range(16)), 0.5)
+        assignment = np.zeros(64, dtype=np.int64)
+        assignment[16:] = np.arange(48) % 3 + 1
+        assert ctrl.average_locality() == 1.0
+        assert ctrl.should_trigger_qcut(10.0, assignment)
+
+    def test_cooldown(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment)
+        ctrl.begin_qcut(assignment, 10.0)
+        ctrl.complete_qcut(11.0)
+        assert not ctrl.should_trigger_qcut(12.0)  # inside cooldown
+        assert ctrl.should_trigger_qcut(20.0)
+
+    def test_no_double_begin(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment)
+        ctrl.begin_qcut(assignment, 10.0)
+        assert not ctrl.should_trigger_qcut(10.5)
+        with pytest.raises(ControllerError):
+            ctrl.begin_qcut(assignment, 11.0)
+
+
+class TestQcutPlan:
+    def test_plan_moves_reduce_cost(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment, n=6)
+        duration = ctrl.begin_qcut(assignment, 10.0)
+        assert duration == pytest.approx(1.0)
+        plan = ctrl.complete_qcut(11.0)
+        assert plan.cost_after <= plan.cost_before
+        assert plan.moves  # scattered scopes => something to consolidate
+
+    def test_moves_reference_scope_vertices(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment, n=4)
+        ctrl.begin_qcut(assignment, 10.0)
+        plan = ctrl.complete_qcut(11.0)
+        tracked = set()
+        for qid in ctrl.scopes.queries():
+            tracked |= ctrl.scopes.global_scope(qid)
+        for move in plan.moves:
+            assert set(move.vertices.tolist()) <= tracked
+            # src must match the assignment at snapshot time
+            assert np.all(assignment[move.vertices] == move.src)
+
+    def test_complete_without_begin(self):
+        ctrl = make_controller()
+        with pytest.raises(ControllerError):
+            ctrl.complete_qcut(1.0)
+
+    def test_empty_window_gives_empty_plan(self):
+        ctrl = make_controller(min_queries_for_qcut=0)
+        assignment = np.zeros(8, dtype=np.int64)
+        ctrl.begin_qcut(assignment, 0.0)
+        plan = ctrl.complete_qcut(1.0)
+        assert not plan
+        assert plan.moved_vertices == 0
+
+    def test_qcut_count_increments(self):
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment)
+        ctrl.begin_qcut(assignment, 0.0)
+        ctrl.complete_qcut(1.0)
+        assert ctrl.qcut_count == 1
+
+
+class TestEstimateImbalance:
+    def test_balanced_zero(self):
+        ctrl = make_controller()
+        assignment = np.arange(16) % 4
+        assert ctrl.estimate_imbalance(assignment) == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_scopes_detected(self):
+        ctrl = make_controller()
+        ctrl.on_query_started(0, 0.0)
+        ctrl.on_iteration(0, 1, list(range(8)), 0.5)
+        assignment = np.zeros(16, dtype=np.int64)
+        assignment[8:] = np.arange(8) % 3 + 1
+        assert ctrl.estimate_imbalance(assignment) > 0.25
+
+
+class TestLifecycle:
+    def test_finish_evicts_stale(self):
+        ctrl = make_controller(mu=1.0)
+        ctrl.on_query_started(0, 0.0)
+        ctrl.on_iteration(0, 1, [1, 2], 0.1)
+        ctrl.on_query_finished(0, 0.2)
+        # a much later finish triggers eviction of the stale query
+        ctrl.on_query_started(1, 50.0)
+        ctrl.on_query_finished(1, 50.1)
+        assert 0 not in ctrl.monitor.tracked_queries()
+        assert ctrl.scopes.global_scope(0) == set()
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ControllerError):
+            Controller(0)

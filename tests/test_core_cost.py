@@ -1,0 +1,59 @@
+"""Tests for the query-cut metric and the ILS cost function (§2, §3.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import assignment_cost, query_cut, query_cut_excess
+from repro.graph.generators import NY_CUTS, NY_QUERY_SCOPES, new_york_districts
+
+
+class TestQueryCut:
+    def test_fully_local_queries(self):
+        scopes = {1: {0, 1, 2}, 2: {5, 6}}
+        assignment = np.array([0, 0, 0, 0, 0, 1, 1, 1])
+        assert query_cut(scopes, assignment, 2) == 2  # one scope per query
+        assert query_cut_excess(scopes, assignment, 2) == 0
+
+    def test_split_query(self):
+        scopes = {1: {0, 1, 2, 3}}
+        assignment = np.array([0, 0, 1, 1])
+        assert query_cut(scopes, assignment, 2) == 2
+        assert query_cut_excess(scopes, assignment, 2) == 1
+
+    def test_empty_scope_ignored(self):
+        scopes = {1: set()}
+        assignment = np.array([0, 1])
+        assert query_cut(scopes, assignment, 2) == 0
+        assert query_cut_excess(scopes, assignment, 2) == 0
+
+    def test_figure1_cut_comparison(self):
+        """Fig. 1: cuts 1/2 have query-cut 0 (excess), cut 3 has 1."""
+        scopes = {i: set(s) for i, s in enumerate(NY_QUERY_SCOPES.values())}
+        for cut_name, expected in [("cut1", 0), ("cut2", 0), ("cut3", 1)]:
+            side = NY_CUTS[cut_name]
+            assignment = np.array([0 if v in side else 1 for v in range(10)])
+            assert query_cut_excess(scopes, assignment, 2) == expected, cut_name
+
+
+class TestAssignmentCost:
+    def test_zero_for_independent_queries(self):
+        """§3.2.2: 'if two workers execute two queries completely
+        independently, the costs would be zero.'"""
+        scopes = {1: {0, 1}, 2: {2, 3}}
+        assignment = np.array([0, 0, 1, 1])
+        assert assignment_cost(scopes, assignment, 2) == 0.0
+
+    def test_counts_minority_vertices(self):
+        scopes = {1: {0, 1, 2, 3, 4}}
+        assignment = np.array([0, 0, 0, 1, 1])
+        assert assignment_cost(scopes, assignment, 2) == 2.0
+
+    def test_tie_takes_single_argmax(self):
+        scopes = {1: {0, 1}}
+        assignment = np.array([0, 1])
+        assert assignment_cost(scopes, assignment, 2) == 1.0
+
+    def test_sums_over_queries(self):
+        scopes = {1: {0, 1, 2}, 2: {3, 4, 5}}
+        assignment = np.array([0, 0, 1, 0, 1, 1])
+        assert assignment_cost(scopes, assignment, 2) == 2.0

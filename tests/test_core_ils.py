@@ -1,0 +1,88 @@
+"""Tests for Algorithm 1 (iterated local search)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Fragment, QcutState, iterated_local_search
+
+
+def hash_like_state(num_units=8, k=4, mass=12, base=2000.0, delta=0.3):
+    """Every cluster scattered evenly (what Hash partitioning looks like)."""
+    frags = [
+        Fragment(u, w, mass, mass) for u in range(num_units) for w in range(k)
+    ]
+    return QcutState(num_units, k, frags, np.full(k, base), delta=delta)
+
+
+class TestIls:
+    def test_reduces_cost(self):
+        st = hash_like_state()
+        res = iterated_local_search(st, max_rounds=10, seed=0)
+        assert res.best_cost < res.initial_cost
+        assert res.improvement > 0.5
+
+    def test_input_not_mutated(self):
+        st = hash_like_state()
+        snapshot = st.weighted.copy()
+        iterated_local_search(st, max_rounds=5, seed=0)
+        assert np.array_equal(st.weighted, snapshot)
+
+    def test_best_state_consistent_with_best_cost(self):
+        st = hash_like_state()
+        res = iterated_local_search(st, max_rounds=10, seed=1)
+        assert res.best_state.cost() == pytest.approx(res.best_cost)
+
+    def test_cost_trace_monotone(self):
+        st = hash_like_state()
+        res = iterated_local_search(st, max_rounds=20, seed=2)
+        costs = [c for _r, c in res.cost_trace]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_perturbation_rounds_recorded(self):
+        st = hash_like_state()
+        res = iterated_local_search(st, max_rounds=10, seed=3)
+        assert res.perturbation_rounds
+        assert res.perturbation_rounds[0] == 1
+
+    def test_zero_rounds_still_descends(self):
+        """Round 0 (initial local search) runs even with no perturbations."""
+        st = hash_like_state()
+        res = iterated_local_search(st, max_rounds=0, seed=4)
+        assert res.best_cost < res.initial_cost
+
+    def test_interruptible(self):
+        st = hash_like_state()
+        calls = []
+
+        def stop_after_two():
+            calls.append(1)
+            return len(calls) > 2
+
+        res = iterated_local_search(st, max_rounds=50, terminated=stop_after_two)
+        assert res.rounds <= 3
+        # still returns the best-so-far solution (requirement (b) of §3.2.2)
+        assert res.best_state is not None
+
+    def test_balance_dominates_acceptance(self):
+        """A balanced incumbent is never replaced by an unbalanced state."""
+        st = hash_like_state(delta=0.25)
+        res = iterated_local_search(st, max_rounds=30, seed=5)
+        assert res.best_state.is_balanced()
+
+    def test_deterministic(self):
+        st = hash_like_state()
+        a = iterated_local_search(st, max_rounds=15, seed=9)
+        b = iterated_local_search(st, max_rounds=15, seed=9)
+        assert a.best_cost == b.best_cost
+        assert a.cost_trace == b.cost_trace
+
+    def test_figure_6g_shape(self):
+        """Fig. 6g: costs drop by more than 75% during one ILS run."""
+        st = hash_like_state(num_units=16, k=8, mass=10, base=4000.0, delta=0.3)
+        res = iterated_local_search(st, max_rounds=40, seed=6)
+        assert res.improvement >= 0.75
+
+    def test_empty_state(self):
+        st = QcutState(0, 2, [], np.array([10.0, 10.0]))
+        res = iterated_local_search(st, max_rounds=5)
+        assert res.best_cost == 0.0

@@ -1,0 +1,113 @@
+"""Tests for Algorithm 2 (local search) and its vectorised successor scan."""
+
+import numpy as np
+import pytest
+
+from repro.core import Fragment, QcutState, best_successor, local_search
+
+
+def scattered_state(delta=0.9):
+    """One cluster spread over 4 workers with plenty of balance headroom."""
+    frags = [Fragment(0, w, 10, 10) for w in range(4)]
+    base = np.array([1000.0] * 4)
+    return QcutState(1, 4, frags, base, delta=delta)
+
+
+class TestBestSuccessor:
+    def test_finds_improving_move(self):
+        st = scattered_state()
+        result = best_successor(st)
+        assert result is not None
+        unit, w_from, w_to, delta_cost = result
+        assert delta_cost < 0
+
+    def test_no_moves_on_empty_state(self):
+        st = QcutState(0, 3, [], np.array([10.0, 10.0, 10.0]))
+        assert best_successor(st) is None
+
+    def test_respects_balance_constraint(self):
+        # tiny delta: every move would unbalance the moved pair
+        frags = [Fragment(0, 0, 50, 50), Fragment(0, 1, 50, 50)]
+        st = QcutState(1, 2, frags, np.array([10.0, 10.0]), delta=0.01)
+        result = best_successor(st)
+        assert result is None
+
+    def test_delta_cost_matches_real_cost_change(self):
+        st = scattered_state()
+        unit, w_from, w_to, predicted = best_successor(st)
+        before = st.cost()
+        st.apply_move(unit, w_from, w_to)
+        assert st.cost() - before == pytest.approx(predicted)
+
+    def test_exhaustive_agreement_on_random_states(self):
+        """The vectorised scan must match brute-force enumeration."""
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            U, k = int(rng.integers(1, 5)), int(rng.integers(2, 5))
+            frags = []
+            for u in range(U):
+                for w in range(k):
+                    if rng.random() < 0.7:
+                        size = int(rng.integers(1, 20))
+                        frags.append(Fragment(u, w, size, size + int(rng.integers(0, 5))))
+            if not frags:
+                continue
+            base = rng.uniform(50, 150, size=k)
+            st = QcutState(U, k, frags, base, delta=0.6)
+            # brute force
+            best_delta = np.inf
+            for u in range(U):
+                for a in range(k):
+                    if st.weighted[u, a] <= 0:
+                        continue
+                    for b in range(k):
+                        if a == b:
+                            continue
+                        x = st.move_load(u, a)
+                        if not st.pair_balance_ok(a, b, x):
+                            continue
+                        clone = st.copy()
+                        before = clone.cost()
+                        clone.apply_move(u, a, b)
+                        best_delta = min(best_delta, clone.cost() - before)
+            result = best_successor(st)
+            if result is None:
+                assert best_delta == np.inf
+            else:
+                assert result[3] == pytest.approx(best_delta)
+
+
+class TestLocalSearch:
+    def test_reaches_zero_cost_with_headroom(self):
+        st = scattered_state(delta=0.9)
+        out = local_search(st)
+        assert out.cost() == 0.0
+
+    def test_never_increases_cost(self):
+        st = scattered_state()
+        before = st.cost()
+        out = local_search(st)
+        assert out.cost() <= before
+
+    def test_terminates_at_local_minimum(self):
+        st = scattered_state()
+        out = local_search(st)
+        nxt = best_successor(out)
+        assert nxt is None or nxt[3] >= 0.0
+
+    def test_max_steps_guard(self):
+        st = scattered_state()
+        out = local_search(st, max_steps=1)
+        # only one move applied
+        assert (out.weighted[0] > 0).sum() >= 2
+
+    def test_multi_cluster_consolidation(self):
+        frags = []
+        for u in range(4):
+            for w in range(4):
+                frags.append(Fragment(u, w, 5, 5))
+        st = QcutState(4, 4, frags, np.array([500.0] * 4), delta=0.9)
+        out = local_search(st)
+        assert out.cost() == 0.0
+        # every cluster fused on exactly one worker
+        assert ((out.weighted > 0).sum(axis=1) == 1).all()

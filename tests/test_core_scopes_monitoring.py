@@ -1,0 +1,132 @@
+"""Tests for scope bookkeeping and the monitoring window (§2, §3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QueryMonitor, QueryScopes, pairwise_intersections
+
+
+class TestQueryScopes:
+    def test_add_and_query(self):
+        qs = QueryScopes()
+        qs.add_activations(1, [0, 1, 2])
+        qs.add_activations(1, [2, 3])
+        assert qs.global_scope(1) == {0, 1, 2, 3}
+        assert qs.global_scope_size(1) == 4
+
+    def test_unknown_query_empty(self):
+        qs = QueryScopes()
+        assert qs.global_scope(9) == set()
+        assert qs.global_scope_size(9) == 0
+
+    def test_local_scope_derivation(self):
+        qs = QueryScopes()
+        qs.add_activations(1, [0, 1, 2, 3])
+        assignment = np.array([0, 0, 1, 1])
+        assert qs.local_scope(1, 0, assignment) == {0, 1}
+        assert qs.local_scope_sizes(1, assignment, 2).tolist() == [2, 2]
+
+    def test_spanning_workers(self):
+        qs = QueryScopes()
+        qs.add_activations(1, [0, 3])
+        assignment = np.array([0, 0, 1, 1])
+        assert qs.spanning_workers(1, assignment) == {0, 1}
+
+    def test_query_cut_metric(self):
+        qs = QueryScopes()
+        qs.add_activations(1, [0, 1])   # fully on worker 0
+        qs.add_activations(2, [1, 2, 3])  # spans both workers
+        assignment = np.array([0, 0, 1, 1])
+        assert qs.query_cut(assignment) == 3
+        assert qs.query_cut_excess(assignment) == 1
+
+    def test_drop(self):
+        qs = QueryScopes()
+        qs.add_activations(1, [0])
+        qs.drop(1)
+        assert qs.queries() == []
+
+
+class TestPairwiseIntersections:
+    def test_shared_vertices_counted(self):
+        scopes = {1: {0, 1, 2}, 2: {1, 2, 3}, 3: {9}}
+        out = pairwise_intersections(scopes)
+        assert out == {(1, 2): 2}
+
+    def test_min_overlap_filter(self):
+        scopes = {1: {0}, 2: {0}, 3: {0}}
+        out = pairwise_intersections(scopes, min_overlap=2)
+        assert out == {}
+
+    def test_triple_overlap_counts_pairs(self):
+        scopes = {1: {5}, 2: {5}, 3: {5}}
+        out = pairwise_intersections(scopes)
+        assert out == {(1, 2): 1, (1, 3): 1, (2, 3): 1}
+
+    def test_empty(self):
+        assert pairwise_intersections({}) == {}
+
+
+class TestQueryMonitor:
+    def test_locality_tracking(self):
+        m = QueryMonitor(window=100.0)
+        m.record_start(1, 0.0)
+        m.record_iteration(1, 1, 1.0)
+        m.record_iteration(1, 3, 2.0)
+        stats = m.stats(1)
+        assert stats.iterations == 2
+        assert stats.local_iterations == 1
+        assert stats.locality == pytest.approx(0.5)
+
+    def test_average_locality(self):
+        m = QueryMonitor(window=100.0)
+        for qid, involved in [(1, 1), (2, 4)]:
+            m.record_start(qid, 0.0)
+            m.record_iteration(qid, involved, 1.0)
+        assert m.average_locality() == pytest.approx(0.5)
+
+    def test_average_locality_no_data(self):
+        m = QueryMonitor()
+        assert m.average_locality() == 1.0
+
+    def test_window_eviction_only_finished(self):
+        m = QueryMonitor(window=10.0)
+        m.record_start(1, 0.0)
+        m.record_iteration(1, 1, 0.0)
+        m.record_finish(1, 1.0)
+        m.record_start(2, 0.0)  # never finishes
+        evicted = m.evict_stale(now=50.0)
+        assert evicted == [1]
+        assert m.tracked_queries() == [2]
+
+    def test_recent_finished_not_evicted(self):
+        m = QueryMonitor(window=10.0)
+        m.record_start(1, 0.0)
+        m.record_finish(1, 5.0)
+        assert m.evict_stale(now=8.0) == []
+
+    def test_max_queries_cap(self):
+        m = QueryMonitor(window=1e9, max_queries=3)
+        for qid in range(5):
+            m.record_start(qid, float(qid))
+            m.record_finish(qid, float(qid))
+        assert len(m) == 3
+        # oldest finished entries evicted first
+        assert m.tracked_queries() == [2, 3, 4]
+
+    def test_cap_evicts_running_as_last_resort(self):
+        m = QueryMonitor(window=1e9, max_queries=2)
+        for qid in range(4):
+            m.record_start(qid, float(qid))
+        assert len(m) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QueryMonitor(window=0.0)
+        with pytest.raises(ValueError):
+            QueryMonitor(max_queries=0)
+
+    def test_iteration_on_unseen_query_registers_it(self):
+        m = QueryMonitor()
+        m.record_iteration(7, 2, 1.0)
+        assert m.stats(7).iterations == 1

@@ -1,0 +1,147 @@
+"""Tests for the hybrid barrier synchronization semantics (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Controller, ControllerConfig
+from repro.engine import EngineConfig, QGraphEngine, Query, SyncMode
+from repro.graph import GraphBuilder, grid_graph
+from repro.partitioning import HashPartitioner
+from repro.queries import BfsProgram, SsspProgram
+from repro.simulation.cluster import make_cluster
+
+
+def engine_for(graph, k, mode, assignment=None):
+    if assignment is None:
+        assignment = HashPartitioner(seed=0).partition(graph, k)
+    return QGraphEngine(
+        graph,
+        make_cluster("M2", k),
+        assignment,
+        controller=Controller(k),
+        config=EngineConfig(sync_mode=mode, adaptive=False),
+    )
+
+
+def left_right_assignment(rows, cols):
+    return np.array(
+        [0 if (v % cols) < cols // 2 else 1 for v in range(rows * cols)],
+        dtype=np.int64,
+    )
+
+
+class TestLocalBarrier:
+    def test_local_query_no_controller_acks(self):
+        """A fully local query must not produce barrier acks (local barrier)."""
+        g = grid_graph(4, 8)
+        eng = engine_for(g, 2, SyncMode.HYBRID, left_right_assignment(4, 8))
+        eng.submit(Query(0, BfsProgram(0, None, max_depth=2), (0,)))
+        trace = eng.run()
+        assert trace.queries[0].locality == pytest.approx(1.0)
+        assert trace.barrier_acks == 0
+
+    def test_local_faster_than_distributed(self):
+        """The same logical query is faster when it runs fully locally."""
+        g = grid_graph(4, 8)
+        local = engine_for(g, 2, SyncMode.HYBRID, left_right_assignment(4, 8))
+        local.submit(Query(0, BfsProgram(0, None, max_depth=3), (0,)))
+        t_local = local.run().queries[0].latency
+
+        scattered = engine_for(g, 2, SyncMode.HYBRID)  # hash assignment
+        scattered.submit(Query(0, BfsProgram(0, None, max_depth=3), (0,)))
+        t_scattered = scattered.run().queries[0].latency
+        assert t_local < t_scattered
+
+    def test_query_escapes_local_mode(self):
+        """A query growing beyond its worker switches to limited barriers."""
+        g = grid_graph(4, 8)
+        eng = engine_for(g, 2, SyncMode.HYBRID, left_right_assignment(4, 8))
+        eng.submit(Query(0, BfsProgram(0, None), (0,)))  # unbounded BFS
+        trace = eng.run()
+        rec = trace.queries[0]
+        assert 0 < rec.locality < 1.0
+        assert trace.barrier_acks > 0
+
+
+class TestLimitedBarrier:
+    def test_acks_only_from_involved_workers(self):
+        """With k=4 but a 2-worker query, acks stay below the global count."""
+        g = grid_graph(4, 8)
+        assignment = left_right_assignment(4, 8)  # workers 0/1 only
+        eng = QGraphEngine(
+            g,
+            make_cluster("M2", 4),
+            assignment,
+            controller=Controller(4),
+            config=EngineConfig(sync_mode=SyncMode.HYBRID, adaptive=False),
+        )
+        eng.submit(Query(0, BfsProgram(0, None), (0,)))
+        trace = eng.run()
+        iterations = trace.queries[0].iterations
+        # a global barrier would collect 4 acks per iteration
+        assert trace.barrier_acks < 4 * iterations
+
+
+class TestGlobalPerQueryBarrier:
+    def test_all_workers_ack(self):
+        g = grid_graph(4, 8)
+        k = 4
+        eng = engine_for(g, k, SyncMode.GLOBAL_PER_QUERY)
+        eng.submit(Query(0, BfsProgram(0, None, max_depth=4), (0,)))
+        trace = eng.run()
+        iterations = trace.queries[0].iterations
+        assert trace.barrier_acks >= k * iterations
+
+    def test_slower_than_hybrid_for_local_queries(self):
+        g = grid_graph(4, 8)
+        assignment = left_right_assignment(4, 8)
+        results = {}
+        for mode in (SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY):
+            eng = QGraphEngine(
+                g,
+                make_cluster("M2", 4),
+                assignment,
+                controller=Controller(4),
+                config=EngineConfig(sync_mode=mode, adaptive=False),
+            )
+            eng.submit(Query(0, BfsProgram(0, None, max_depth=3), (0,)))
+            results[mode] = eng.run().queries[0].latency
+        assert results[SyncMode.HYBRID] < results[SyncMode.GLOBAL_PER_QUERY]
+
+
+class TestSharedBspBarrier:
+    def test_straggler_coupling(self):
+        """Under the shared barrier a short query waits for a heavy one."""
+        g = grid_graph(6, 6)
+        heavy = Query(1, SsspProgram(35), tuple(range(36)))  # all-source SSSP
+
+        short_alone = engine_for(g, 2, SyncMode.SHARED_BSP)
+        short_alone.submit(Query(0, BfsProgram(0, None, max_depth=2), (0,)))
+        t_alone = short_alone.run().queries[0].latency
+
+        coupled = engine_for(g, 2, SyncMode.SHARED_BSP)
+        coupled.submit(Query(0, BfsProgram(0, None, max_depth=2), (0,)))
+        coupled.submit(heavy)
+        t_coupled = coupled.run().queries[0].latency
+        assert t_coupled > t_alone
+
+    def test_hybrid_decouples_stragglers(self):
+        """The same pair under hybrid barriers couples much less."""
+        g = grid_graph(6, 6)
+
+        def run(mode):
+            eng = engine_for(g, 2, mode)
+            eng.submit(Query(0, BfsProgram(0, None, max_depth=2), (0,)))
+            eng.submit(Query(1, SsspProgram(35), tuple(range(36))))
+            return eng.run().queries[0].latency
+
+        assert run(SyncMode.HYBRID) < run(SyncMode.SHARED_BSP)
+
+    def test_late_arrival_joins_next_superstep(self):
+        g = grid_graph(5, 5)
+        eng = engine_for(g, 2, SyncMode.SHARED_BSP)
+        eng.submit(Query(0, SsspProgram(0, 24), (0,)))
+        eng.submit(Query(1, SsspProgram(24, 0), (24,)), arrival_time=0.001)
+        trace = eng.run()
+        assert len(trace.finished_queries()) == 2
+        assert eng.query_result(1)["distance"] == pytest.approx(8.0)

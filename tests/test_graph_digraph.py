@@ -1,0 +1,171 @@
+"""Unit tests for the CSR directed graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import DiGraph, GraphBuilder
+
+
+def small_graph():
+    b = GraphBuilder(4)
+    b.add_edge(0, 1, 1.0)
+    b.add_edge(0, 2, 2.0)
+    b.add_edge(1, 2, 0.5)
+    b.add_edge(2, 3, 1.5)
+    b.add_edge(3, 0, 4.0)
+    return b.build(name="small")
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 5
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_nonmonotone_indptr(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 1.0]))
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([0, 1]), np.array([5]), np.array([1.0]))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([0, 1, 1]), np.array([1]), np.array([-1.0]))
+
+    def test_rejects_weight_length_mismatch(self):
+        with pytest.raises(GraphError):
+            DiGraph(np.array([0, 1, 1]), np.array([1]), np.array([1.0, 2.0]))
+
+    def test_rejects_bad_coords_shape(self):
+        with pytest.raises(GraphError):
+            DiGraph(
+                np.array([0, 0, 0]),
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
+                coords=np.zeros((3, 2)),
+            )
+
+    def test_empty_graph(self):
+        g = DiGraph(np.array([0]), np.empty(0, dtype=np.int64), np.empty(0))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestAdjacency:
+    def test_out_neighbors(self):
+        g = small_graph()
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.out_neighbors(3).tolist() == [0]
+
+    def test_out_weights_aligned(self):
+        g = small_graph()
+        nbrs = g.out_neighbors(0).tolist()
+        ws = g.out_weights(0).tolist()
+        assert dict(zip(nbrs, ws)) == {1: 1.0, 2: 2.0}
+
+    def test_in_neighbors_is_reverse(self):
+        g = small_graph()
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+        assert g.in_neighbors(0).tolist() == [3]
+
+    def test_in_weights(self):
+        g = small_graph()
+        nbrs = g.in_neighbors(2).tolist()
+        ws = g.in_weights(2).tolist()
+        assert dict(zip(nbrs, ws)) == {0: 2.0, 1: 0.5}
+
+    def test_degrees(self):
+        g = small_graph()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.out_degrees().tolist() == [2, 1, 1, 1]
+        assert g.in_degrees().sum() == g.num_edges
+
+    def test_has_edge(self):
+        g = small_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_weight(self):
+        g = small_graph()
+        assert g.edge_weight(1, 2) == 0.5
+        with pytest.raises(GraphError):
+            g.edge_weight(1, 3)
+
+    def test_edge_weight_parallel_edges_keeps_min(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)
+        g = b.build()
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_vertex_out_of_range(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.out_neighbors(10)
+        with pytest.raises(GraphError):
+            g.out_neighbors(-1)
+
+    def test_edges_iterator(self):
+        g = small_graph()
+        edges = list(g.edges())
+        assert len(edges) == 5
+        assert (0, 1, 1.0) in edges
+
+    def test_edge_array_roundtrip(self):
+        g = small_graph()
+        src, dst, w = g.edge_array()
+        assert len(src) == g.num_edges
+        rebuilt = set(zip(src.tolist(), dst.tolist()))
+        assert rebuilt == {(u, v) for u, v, _ in g.edges()}
+
+
+class TestAttributes:
+    def test_coords(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, 1.0)
+        b.set_coord(0, 0.0, 0.0)
+        b.set_coord(1, 3.0, 4.0)
+        g = b.build()
+        assert g.has_coords()
+        assert g.euclidean(0, 1) == pytest.approx(5.0)
+
+    def test_euclidean_without_coords_raises(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.euclidean(0, 1)
+
+    def test_tags(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)
+        b.set_tag(2)
+        g = b.build()
+        assert g.has_tags()
+        assert g.tagged_vertices().tolist() == [2]
+
+    def test_no_tags(self):
+        g = small_graph()
+        assert not g.has_tags()
+        assert g.tagged_vertices().size == 0
+
+    def test_subgraph_edge_count(self):
+        g = small_graph()
+        assert g.subgraph_edge_count([0, 1, 2]) == 3
+        assert g.subgraph_edge_count([0]) == 0
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert small_graph() == small_graph()
+
+    def test_unequal_weights(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 1, 9.0)
+        assert small_graph() != b.build()

@@ -1,0 +1,106 @@
+"""Round-trip tests for graph persistence."""
+
+import os
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    GraphBuilder,
+    grid_graph,
+    load_edge_list,
+    load_npz,
+    new_york_districts,
+    save_edge_list,
+    save_npz,
+)
+
+
+def tagged_graph():
+    b = GraphBuilder(3)
+    b.add_edge(0, 1, 1.25)
+    b.add_edge(1, 2, 2.5)
+    b.set_coord(0, 0.0, 0.0)
+    b.set_coord(1, 1.0, 0.5)
+    b.set_coord(2, 2.0, 1.0)
+    b.set_tag(2)
+    return b.build(name="tagged")
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = new_york_districts()
+        path = str(tmp_path / "g.txt")
+        save_edge_list(g, path)
+        g2 = load_edge_list(path)
+        assert g2.num_vertices == g.num_vertices
+        assert g2.num_edges == g.num_edges
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_isolated_trailing_vertex_survives(self, tmp_path):
+        b = GraphBuilder(5)
+        b.add_edge(0, 1, 1.0)
+        g = b.build()
+        path = str(tmp_path / "iso.txt")
+        save_edge_list(g, path)
+        assert load_edge_list(path).num_vertices == 5
+
+    def test_load_without_weights(self, tmp_path):
+        path = str(tmp_path / "raw.txt")
+        with open(path, "w") as f:
+            f.write("0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_missing_file(self):
+        with pytest.raises(GraphFormatError):
+            load_edge_list("/nonexistent/file.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("0 1 2 3 4\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_negative_vertex(self, tmp_path):
+        path = str(tmp_path / "neg.txt")
+        with open(path, "w") as f:
+            f.write("-1 0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_header_vertex_count_mismatch(self, tmp_path):
+        path = str(tmp_path / "mismatch.txt")
+        with open(path, "w") as f:
+            f.write("# repro-edge-list v1 n=2 m=1\n0 5 1.0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestNpz:
+    def test_roundtrip_all_attributes(self, tmp_path):
+        g = tagged_graph()
+        path = str(tmp_path / "g.npz")
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2 == g
+        assert g2.name == "tagged"
+
+    def test_roundtrip_structure_only(self, tmp_path):
+        g = grid_graph(4, 4)
+        path = str(tmp_path / "grid.npz")
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_missing_file(self):
+        with pytest.raises(GraphFormatError):
+            load_npz("/nonexistent/file.npz")
+
+    def test_corrupt_container(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as f:
+            f.write(b"not a zip file")
+        with pytest.raises(Exception):
+            load_npz(path)

@@ -1,0 +1,89 @@
+"""Tests for partitioning-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph import (
+    GraphBuilder,
+    edge_balance,
+    edge_cut,
+    grid_graph,
+    partition_sizes,
+    replication_factor,
+    vertex_balance,
+    vertex_cut,
+)
+
+
+def path_graph(n):
+    b = GraphBuilder(n)
+    for i in range(n - 1):
+        b.add_bidirectional_edge(i, i + 1, 1.0)
+    return b.build()
+
+
+class TestEdgeCut:
+    def test_no_cut_single_partition(self):
+        g = path_graph(6)
+        assert edge_cut(g, np.zeros(6, dtype=int)) == 0
+
+    def test_path_split_in_middle(self):
+        g = path_graph(6)
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        assert edge_cut(g, assignment) == 2  # one undirected edge = 2 directed
+
+    def test_alternating_assignment(self):
+        g = path_graph(4)
+        assignment = np.array([0, 1, 0, 1])
+        assert edge_cut(g, assignment) == 6  # all 3 undirected edges cut
+
+    def test_bad_shape(self):
+        g = path_graph(4)
+        with pytest.raises(PartitioningError):
+            edge_cut(g, np.zeros(3, dtype=int))
+
+
+class TestVertexCut:
+    def test_no_boundary(self):
+        g = path_graph(5)
+        assert vertex_cut(g, np.zeros(5, dtype=int)) == 0
+
+    def test_boundary_vertices_counted(self):
+        g = path_graph(6)
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        assert vertex_cut(g, assignment) == 2  # vertices 2 and 3
+
+
+class TestBalance:
+    def test_perfect_balance(self):
+        g = grid_graph(4, 4)
+        assignment = np.repeat(np.arange(4), 4)
+        assert vertex_balance(g, assignment, 4) == pytest.approx(1.0)
+        assert partition_sizes(g, assignment, 4).tolist() == [4, 4, 4, 4]
+
+    def test_imbalance(self):
+        g = path_graph(8)
+        assignment = np.array([0] * 6 + [1] * 2)
+        assert vertex_balance(g, assignment, 2) == pytest.approx(6 / 4)
+
+    def test_edge_balance(self):
+        g = path_graph(4)
+        assignment = np.array([0, 0, 1, 1])
+        assert edge_balance(g, assignment, 2) == pytest.approx(1.0)
+
+    def test_assignment_beyond_k(self):
+        g = path_graph(4)
+        with pytest.raises(PartitioningError):
+            partition_sizes(g, np.array([0, 1, 2, 5]), 3)
+
+
+class TestReplication:
+    def test_single_partition_replication_is_one(self):
+        g = path_graph(5)
+        assert replication_factor(g, np.zeros(5, dtype=int)) == pytest.approx(1.0)
+
+    def test_split_increases_replication(self):
+        g = path_graph(4)
+        assignment = np.array([0, 0, 1, 1])
+        assert replication_factor(g, assignment) > 1.0

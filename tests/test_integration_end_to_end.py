@@ -1,0 +1,142 @@
+"""End-to-end integration tests exercising the full harness pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.bench import Scenario, run_scenario
+from repro.core import (
+    BarrierReadyMessage,
+    BarrierSynchMessage,
+    ExecuteQueryMessage,
+    MoveRequest,
+    ScheduleQueryMessage,
+    StatsMessage,
+)
+from repro.engine import SyncMode
+
+
+@pytest.fixture(scope="module")
+def scenario_pair():
+    """One static-hash and one adaptive run on a small BW-like network."""
+    base = dict(
+        graph_preset="bw",
+        graph_scale=0.4,
+        main_queries=64,
+        k=4,
+        seed=11,
+    )
+    static = run_scenario(
+        Scenario(name="static", partitioner="hash", adaptive=False, **base)
+    )
+    adaptive = run_scenario(
+        Scenario(name="adaptive", partitioner="hash", adaptive=True, **base)
+    )
+    return static, adaptive
+
+
+class TestHarness:
+    def test_all_queries_finish(self, scenario_pair):
+        static, adaptive = scenario_pair
+        assert len(static.trace.finished_queries()) == 64
+        assert len(adaptive.trace.finished_queries()) == 64
+
+    def test_adaptive_repartitions(self, scenario_pair):
+        _static, adaptive = scenario_pair
+        assert len(adaptive.trace.repartitions) >= 1
+
+    def test_adaptive_improves_locality(self, scenario_pair):
+        static, adaptive = scenario_pair
+        assert adaptive.mean_locality > static.mean_locality
+
+    def test_summary_fields(self, scenario_pair):
+        static, _ = scenario_pair
+        s = static.summary()
+        for key in (
+            "total_latency",
+            "mean_latency",
+            "makespan",
+            "locality",
+            "imbalance",
+            "repartitions",
+            "queries",
+        ):
+            assert key in s
+        assert s["queries"] == 64
+
+    def test_deterministic_reruns(self):
+        base = Scenario(
+            name="det",
+            partitioner="hash",
+            adaptive=True,
+            graph_preset="bw",
+            graph_scale=0.4,
+            main_queries=32,
+            k=4,
+            seed=5,
+        )
+        a = run_scenario(base)
+        b = run_scenario(base)
+        assert a.total_latency == pytest.approx(b.total_latency)
+        assert a.mean_locality == pytest.approx(b.mean_locality)
+        assert len(a.trace.repartitions) == len(b.trace.repartitions)
+
+    def test_sync_mode_scenarios(self):
+        for mode in (SyncMode.SHARED_BSP, SyncMode.GLOBAL_PER_QUERY):
+            r = run_scenario(
+                Scenario(
+                    name=f"mode-{mode.value}",
+                    partitioner="hash",
+                    sync_mode=mode,
+                    adaptive=False,
+                    graph_preset="bw",
+                    graph_scale=0.4,
+                    main_queries=16,
+                    k=4,
+                    seed=2,
+                )
+            )
+            assert len(r.trace.finished_queries()) == 16
+
+    def test_poi_workload_scenario(self):
+        r = run_scenario(
+            Scenario(
+                name="poi",
+                partitioner="domain",
+                workload="poi",
+                adaptive=False,
+                graph_preset="bw",
+                graph_scale=0.4,
+                main_queries=24,
+                k=4,
+                seed=3,
+            )
+        )
+        assert len(r.trace.finished_queries()) == 24
+
+
+class TestApiMessages:
+    """Table 2 message constructors round-trip their payloads."""
+
+    def test_stats_message(self):
+        m = StatsMessage(
+            query_id=1,
+            local_scope_size=10,
+            worker=2,
+            intersections={frozenset({1, 2}): 3},
+        )
+        assert m.intersections[frozenset({1, 2})] == 3
+
+    def test_barrier_synch_piggyback(self):
+        stats = StatsMessage(query_id=1, local_scope_size=4, worker=0)
+        m = BarrierSynchMessage(query_id=1, worker=0, iteration=7, stats=(stats,))
+        assert m.stats[0].local_scope_size == 4
+
+    def test_move_request(self):
+        m = MoveRequest(src=0, dst=1, vertices=[3, 4, 5])
+        assert m.size == 3
+        assert m.vertices.dtype == np.int64
+
+    def test_simple_messages(self):
+        assert ScheduleQueryMessage(query_id=9).query_id == 9
+        assert ExecuteQueryMessage(query_id=9).query_id == 9
+        assert BarrierReadyMessage(query_id=9, iteration=1).iteration == 1

@@ -1,0 +1,166 @@
+"""Tests for the static partitioning baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph import (
+    edge_cut,
+    generate_road_network,
+    grid_graph,
+    vertex_balance,
+)
+from repro.partitioning import (
+    BfsRegionPartitioner,
+    DomainPartitioner,
+    FennelPartitioner,
+    HashPartitioner,
+    LdgPartitioner,
+    group_cities_geographically,
+    validate_partitioning,
+)
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return generate_road_network(
+        num_cities=8, num_urban_vertices=1600, seed=13, region_size=100.0
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_graph(12, 12)
+
+
+ALL_PARTITIONERS = [
+    HashPartitioner(seed=1),
+    LdgPartitioner(seed=1),
+    FennelPartitioner(seed=1),
+    BfsRegionPartitioner(seed=1),
+]
+
+
+class TestContract:
+    @pytest.mark.parametrize("p", ALL_PARTITIONERS, ids=lambda p: p.name)
+    def test_valid_assignment(self, grid, p):
+        assignment = p.partition(grid, 4)
+        validate_partitioning(grid, assignment, 4)
+
+    @pytest.mark.parametrize("p", ALL_PARTITIONERS, ids=lambda p: p.name)
+    def test_all_workers_used(self, grid, p):
+        assignment = p.partition(grid, 4)
+        assert set(np.unique(assignment)) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("p", ALL_PARTITIONERS, ids=lambda p: p.name)
+    def test_deterministic(self, grid, p):
+        a = p.partition(grid, 4)
+        b = p.partition(grid, 4)
+        assert np.array_equal(a, b)
+
+    def test_k_too_large(self, grid):
+        with pytest.raises(PartitioningError):
+            HashPartitioner().partition(grid, grid.num_vertices + 1)
+
+    def test_k_must_be_positive(self, grid):
+        with pytest.raises(PartitioningError):
+            HashPartitioner().partition(grid, 0)
+
+
+class TestHash:
+    def test_balanced(self, grid):
+        assignment = HashPartitioner(seed=0).partition(grid, 4)
+        assert vertex_balance(grid, assignment, 4) < 1.25
+
+    def test_no_locality(self, grid):
+        """Hash should cut nearly the expected (k-1)/k of all edges."""
+        assignment = HashPartitioner(seed=0).partition(grid, 4)
+        cut_fraction = edge_cut(grid, assignment) / grid.num_edges
+        assert cut_fraction > 0.6
+
+    def test_seed_changes_assignment(self, grid):
+        a = HashPartitioner(seed=0).partition(grid, 4)
+        b = HashPartitioner(seed=99).partition(grid, 4)
+        assert not np.array_equal(a, b)
+
+
+class TestLdg:
+    def test_better_locality_than_hash(self, grid):
+        ldg = LdgPartitioner().partition(grid, 4)
+        hsh = HashPartitioner().partition(grid, 4)
+        assert edge_cut(grid, ldg) < edge_cut(grid, hsh)
+
+    def test_respects_capacity_slack(self, grid):
+        assignment = LdgPartitioner(slack=0.1).partition(grid, 4)
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() <= (1.1 * grid.num_vertices / 4) + 1
+
+    def test_stream_orders(self, grid):
+        for order in ("natural", "random", "bfs"):
+            assignment = LdgPartitioner(order=order, seed=2).partition(grid, 4)
+            validate_partitioning(grid, assignment, 4)
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            LdgPartitioner(order="bogus")
+
+
+class TestFennel:
+    def test_better_locality_than_hash(self, grid):
+        fen = FennelPartitioner().partition(grid, 4)
+        hsh = HashPartitioner().partition(grid, 4)
+        assert edge_cut(grid, fen) < edge_cut(grid, hsh)
+
+    def test_capacity_respected(self, grid):
+        assignment = FennelPartitioner(balance_slack=0.2).partition(grid, 4)
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() <= (1.2 * grid.num_vertices / 4) + 1
+
+
+class TestBfsRegions:
+    def test_regions_balanced(self, grid):
+        assignment = BfsRegionPartitioner(seed=3).partition(grid, 4)
+        assert vertex_balance(grid, assignment, 4) <= 1.35
+
+    def test_locality(self, grid):
+        bfs = BfsRegionPartitioner(seed=3).partition(grid, 4)
+        hsh = HashPartitioner().partition(grid, 4)
+        assert edge_cut(grid, bfs) < edge_cut(grid, hsh)
+
+
+class TestDomain:
+    def test_each_city_on_single_worker(self, rn):
+        assignment = DomainPartitioner(road_network=rn).partition(rn.graph, 4)
+        for city in rn.cities:
+            owners = np.unique(assignment[city.vertex_ids])
+            assert owners.size == 1, f"city {city.city_id} split across {owners}"
+
+    def test_city_grouping_balanced_by_count(self, rn):
+        centers = np.array([c.center for c in rn.cities])
+        groups = group_cities_geographically(centers, 4, seed=0)
+        counts = np.bincount(groups, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_too_many_workers_for_cities(self, rn):
+        with pytest.raises(PartitioningError):
+            DomainPartitioner(road_network=rn).partition(rn.graph, 99)
+
+    def test_high_locality(self, rn):
+        assignment = DomainPartitioner(road_network=rn).partition(rn.graph, 4)
+        cut_fraction = edge_cut(rn.graph, assignment) / rn.graph.num_edges
+        assert cut_fraction < 0.05  # almost all edges internal
+
+    def test_coordinate_fallback(self, grid):
+        assignment = DomainPartitioner().partition(grid, 4)
+        validate_partitioning(grid, assignment, 4)
+        sizes = np.bincount(assignment, minlength=4)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_requires_coords_or_network(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder(4)
+        b.add_edge(0, 1, 1.0)
+        bare = b.build()
+        with pytest.raises(PartitioningError):
+            DomainPartitioner().partition(bare, 2)

@@ -1,0 +1,166 @@
+"""Correctness tests for SSSP and POI against reference implementations."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.core import Controller
+from repro.engine import EngineConfig, QGraphEngine, Query
+from repro.errors import QueryError
+from repro.graph import GraphBuilder, generate_road_network, grid_graph
+from repro.partitioning import HashPartitioner
+from repro.queries import PoiProgram, SsspProgram
+from repro.simulation.cluster import make_cluster
+
+
+def dijkstra(graph, source):
+    """Reference shortest paths (binary-heap Dijkstra)."""
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, np.inf):
+            continue
+        lo, hi = graph.indptr[u], graph.indptr[u + 1]
+        for i in range(lo, hi):
+            v = int(graph.indices[i])
+            nd = d + float(graph.weights[i])
+            if nd < dist.get(v, np.inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def run_query(graph, program, initial, k=3):
+    assignment = HashPartitioner(seed=1).partition(graph, k)
+    eng = QGraphEngine(
+        graph,
+        make_cluster("M2", k),
+        assignment,
+        controller=Controller(k),
+        config=EngineConfig(adaptive=False),
+    )
+    eng.submit(Query(0, program, initial))
+    eng.run()
+    return eng
+
+
+@pytest.fixture(scope="module")
+def road():
+    return generate_road_network(
+        num_cities=3, num_urban_vertices=600, seed=3, region_size=40.0
+    )
+
+
+class TestSssp:
+    def test_grid_distance(self):
+        g = grid_graph(7, 7)
+        eng = run_query(g, SsspProgram(0, 48), (0,))
+        assert eng.query_result(0)["distance"] == pytest.approx(12.0)
+
+    def test_matches_dijkstra_on_road_network(self, road):
+        g = road.graph
+        ref = dijkstra(g, 0)
+        for target in (5, 50, 150, 400):
+            eng = run_query(g, SsspProgram(0, target), (0,))
+            got = eng.query_result(0)["distance"]
+            want = ref.get(target)
+            if want is None:
+                assert got is None
+            else:
+                assert got == pytest.approx(want, rel=1e-9)
+
+    def test_untargeted_full_sssp(self):
+        g = grid_graph(5, 5)
+        eng = run_query(g, SsspProgram(0), (0,))
+        distances = eng.query_result(0)["distances"]
+        ref = dijkstra(g, 0)
+        assert distances == pytest.approx(ref)
+
+    def test_unreachable_target(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 1.0)  # vertex 2 isolated
+        g = b.build()
+        eng = run_query(g, SsspProgram(0, 2), (0,), k=2)
+        assert eng.query_result(0)["distance"] is None
+
+    def test_target_pruning_shrinks_scope(self, road):
+        """Target pruning must settle far fewer vertices than full SSSP."""
+        g = road.graph
+        full = run_query(g, SsspProgram(0), (0,))
+        pruned = run_query(g, SsspProgram(0, 10), (0,))
+        assert (
+            pruned.query_result(0)["settled"] < full.query_result(0)["settled"]
+        )
+
+    def test_pruning_does_not_change_answer(self, road):
+        g = road.graph
+        ref = dijkstra(g, 7)
+        for target in (20, 80, 200):
+            eng = run_query(g, SsspProgram(7, target), (7,))
+            want = ref.get(target)
+            got = eng.query_result(0)["distance"]
+            if want is not None:
+                assert got == pytest.approx(want, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            SsspProgram(-1)
+        with pytest.raises(QueryError):
+            SsspProgram(0, -2)
+
+
+class TestPoi:
+    def poi_graph(self):
+        g = grid_graph(6, 6)
+        # rebuild with tags at two corners
+        b = GraphBuilder(36)
+        for u, v, w in g.edges():
+            b.add_edge(u, v, w)
+        b.set_tag(35)  # far corner
+        b.set_tag(5)   # close: top-right of first row
+        return b.build()
+
+    def test_finds_nearest_tagged(self):
+        g = self.poi_graph()
+        eng = run_query(g, PoiProgram(0), (0,), k=2)
+        result = eng.query_result(0)
+        assert result["poi"] == 5
+        assert result["distance"] == pytest.approx(5.0)
+
+    def test_brute_force_agreement(self):
+        rng_net = generate_road_network(
+            num_cities=3,
+            num_urban_vertices=500,
+            seed=11,
+            region_size=40.0,
+            tag_probability=1 / 50.0,
+        )
+        g = rng_net.graph
+        ref = dijkstra(g, 0)
+        tagged = g.tagged_vertices()
+        want = min(
+            (ref[t] for t in tagged.tolist() if t in ref), default=None
+        )
+        eng = run_query(g, PoiProgram(0), (0,))
+        got = eng.query_result(0)["distance"]
+        assert got == pytest.approx(want, rel=1e-9)
+
+    def test_start_is_tagged(self):
+        g = self.poi_graph()
+        eng = run_query(g, PoiProgram(5), (5,), k=2)
+        result = eng.query_result(0)
+        assert result["poi"] == 5
+        assert result["distance"] == 0.0
+
+    def test_requires_tags(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(QueryError):
+            PoiProgram(0).init_messages(g, (0,))
+
+    def test_bound_prunes_search(self):
+        g = self.poi_graph()
+        eng = run_query(g, PoiProgram(0), (0,), k=2)
+        # the wave must not settle the whole grid: POI at distance 5 bounds it
+        assert eng.query_result(0)["settled"] < 36

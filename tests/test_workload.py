@@ -1,0 +1,131 @@
+"""Tests for hotspot workload generation (§4.1 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import generate_road_network
+from repro.workload import HotspotSampler, PhaseSpec, QueryTrace, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def rn():
+    return generate_road_network(
+        num_cities=6, num_urban_vertices=1800, seed=17, region_size=90.0
+    )
+
+
+class TestHotspotSampler:
+    def test_population_proportional_cities(self, rn):
+        sampler = HotspotSampler(rn, seed=0)
+        draws = np.array([sampler.sample_city() for _ in range(3000)])
+        freq = np.bincount(draws, minlength=6) / 3000
+        weights = rn.population_weights()
+        # biggest city sampled most often, smallest least
+        assert freq[0] > freq[-1]
+        assert abs(freq[0] - weights[0]) < 0.06
+
+    def test_vertices_near_center(self, rn):
+        sampler = HotspotSampler(rn, seed=1)
+        coords = rn.graph.coords
+        for city in rn.cities[:2]:
+            vs = [sampler.sample_vertex_in_city(city.city_id) for _ in range(50)]
+            center = np.array(city.center)
+            dists = [np.linalg.norm(coords[v] - center) for v in vs]
+            radius = max(
+                np.linalg.norm(coords[v] - center) for v in city.vertex_ids
+            )
+            # concentrated sampling: typical draw well inside the city radius
+            assert np.median(dists) < 0.6 * radius
+
+    def test_sampled_vertex_belongs_to_city(self, rn):
+        sampler = HotspotSampler(rn, seed=2)
+        for city in rn.cities:
+            v = sampler.sample_vertex_in_city(city.city_id)
+            assert rn.city_of_vertex[v] == city.city_id
+
+    def test_intra_endpoints_same_city(self, rn):
+        sampler = HotspotSampler(rn, seed=3)
+        for _ in range(20):
+            start, end = sampler.sample_sssp_endpoints(intra_probability=1.0)
+            assert rn.city_of_vertex[start] == rn.city_of_vertex[end]
+            assert start != end
+
+    def test_inter_endpoints_different_city(self, rn):
+        sampler = HotspotSampler(rn, seed=4)
+        different = 0
+        for _ in range(20):
+            start, end = sampler.sample_sssp_endpoints(intra_probability=0.0)
+            if rn.city_of_vertex[start] != rn.city_of_vertex[end]:
+                different += 1
+        assert different >= 18  # neighbouring city is distinct essentially always
+
+    def test_neighboring_city_is_near(self, rn):
+        sampler = HotspotSampler(rn, seed=5)
+        centers = np.array([c.center for c in rn.cities])
+        for city in range(6):
+            other = sampler.neighboring_city(city)
+            assert other != city
+            d = np.linalg.norm(centers[other] - centers[city])
+            all_d = np.linalg.norm(centers - centers[city], axis=1)
+            all_d[city] = np.inf
+            assert d <= np.sort(all_d)[2] + 1e-9  # among 3 nearest
+
+    def test_validation(self, rn):
+        with pytest.raises(WorkloadError):
+            HotspotSampler(rn, concentration=0.0)
+        with pytest.raises(WorkloadError):
+            HotspotSampler(rn).sample_sssp_endpoints(intra_probability=2.0)
+
+    def test_deterministic(self, rn):
+        a = HotspotSampler(rn, seed=9)
+        b = HotspotSampler(rn, seed=9)
+        assert [a.sample_city() for _ in range(10)] == [
+            b.sample_city() for _ in range(10)
+        ]
+
+
+class TestWorkloadGenerator:
+    def test_phase_counts_and_labels(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate(
+            [
+                PhaseSpec(num_queries=10, kind="sssp", label="a"),
+                PhaseSpec(num_queries=5, kind="poi", label="b"),
+            ]
+        )
+        assert trace.num_queries == 15
+        labels = [q.phase for q in trace.queries()]
+        assert labels.count("a") == 10
+        assert labels.count("b") == 5
+
+    def test_query_ids_unique(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate([PhaseSpec(num_queries=20)])
+        ids = [q.query_id for q in trace.queries()]
+        assert len(set(ids)) == 20
+
+    def test_paper_sssp_workload_shape(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.paper_sssp_workload(main_queries=32, disturbance_queries=8)
+        phases = [q.phase for q in trace.queries()]
+        assert phases[:32] == ["intra"] * 32
+        assert phases[32:] == ["inter"] * 8
+
+    def test_poi_workload_kind(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.paper_poi_workload(num_queries=6)
+        assert all(q.kind == "poi" for q in trace.queries())
+
+    def test_invalid_phase(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=-1)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, kind="bogus")
+
+    def test_deterministic(self, rn):
+        a = WorkloadGenerator(rn, seed=4).generate([PhaseSpec(num_queries=12)])
+        b = WorkloadGenerator(rn, seed=4).generate([PhaseSpec(num_queries=12)])
+        for (qa, _), (qb, _) in zip(a.entries, b.entries):
+            assert qa.initial_vertices == qb.initial_vertices
+            assert qa.program.target == qb.program.target

@@ -2,6 +2,7 @@
 
 from repro.engine.barriers import BarrierKind, SyncMode
 from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.engine.kernels import ArrayMailbox, QueryKernel
 from repro.engine.query import Query, QueryRuntime
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.engine.worker import IterationResult, SimWorker
@@ -15,6 +16,8 @@ __all__ = [
     "QueryRuntime",
     "VertexProgram",
     "ComputeContext",
+    "QueryKernel",
+    "ArrayMailbox",
     "SimWorker",
     "IterationResult",
 ]

@@ -56,6 +56,11 @@ class EngineConfig:
         parallel queries"); further queries wait in an admission queue.
     adaptive:
         Whether the controller's Q-cut adaptation loop is active.
+    use_kernels:
+        Whether programs that provide a vectorized
+        :class:`~repro.engine.kernels.QueryKernel` run through the
+        numpy iteration path (``False`` forces the generic per-vertex
+        path for every program — used by the equivalence benchmarks).
     vertex_state_bytes:
         Bytes transferred per vertex during repartitioning moves.
     local_barrier_cost:
@@ -65,6 +70,7 @@ class EngineConfig:
     sync_mode: SyncMode = SyncMode.HYBRID
     max_parallel_queries: int = 16
     adaptive: bool = True
+    use_kernels: bool = True
     vertex_state_bytes: int = 48
     local_barrier_cost: float = 1.0e-6
     max_events: int = 50_000_000
@@ -100,6 +106,9 @@ class QGraphEngine:
             SimWorker(w, cluster.machine) for w in range(cluster.num_workers)
         ]
         self.runtimes: Dict[int, QueryRuntime] = {}
+        #: every query id ever submitted (duplicate detection, including
+        #: queries still waiting in the admission queue)
+        self._submitted: Set[int] = set()
         self.pending: deque = deque()
         self.running: Set[int] = set()
         #: per-query vertices activated since the last controller update
@@ -123,11 +132,16 @@ class QGraphEngine:
     # public API
     # ------------------------------------------------------------------
     def submit(self, query: Query, arrival_time: float = 0.0) -> None:
-        """``scheduleQuery(q)`` — enqueue a query arrival."""
-        if query.query_id in self.runtimes:
+        """``scheduleQuery(q)`` — enqueue a query arrival.
+
+        Duplicate ids are rejected against every id ever submitted — also
+        queued-but-unstarted ones, which have no runtime yet and would
+        otherwise silently overwrite each other's runtime in
+        ``_start_query``.
+        """
+        if query.query_id in self._submitted:
             raise EngineError(f"duplicate query id {query.query_id}")
-        self.runtimes[query.query_id] = QueryRuntime(query)  # placeholder slot
-        del self.runtimes[query.query_id]
+        self._submitted.add(query.query_id)
         self.queue.schedule(arrival_time, "arrival", query=query)
 
     def run(self, until: Optional[float] = None) -> MetricsTrace:
@@ -185,18 +199,17 @@ class QGraphEngine:
             self._start_query(self.pending.popleft(), now)
 
     def _start_query(self, query: Query, now: float) -> None:
-        qr = QueryRuntime(query)
+        qr = QueryRuntime(query, self.graph if self.config.use_kernels else None)
         self.runtimes[query.query_id] = qr
         self.running.add(query.query_id)
         self._activated[query.query_id] = []
         self.controller.on_query_started(query.query_id, now)
         self.trace.query_started(query.query_id, query.kind, now, query.phase)
 
-        for vertex, message in query.program.init_messages(
-            self.graph, query.initial_vertices
-        ):
-            owner = int(self.assignment[vertex])
-            qr.deliver(owner, vertex, message, to_next=True)
+        qr.seed_messages(
+            query.program.init_messages(self.graph, query.initial_vertices),
+            self.assignment,
+        )
         qr.rotate_mailboxes()
         qr.involved = set(qr.mailboxes)
 
@@ -227,6 +240,7 @@ class QGraphEngine:
                         "ack_task_ready",
                         query_id=query.query_id,
                         worker=w,
+                        epoch=qr.barrier_epoch,
                     )
 
     # ------------------------------------------------------------------
@@ -238,11 +252,61 @@ class QGraphEngine:
             self._maybe_begin_stop(now)
             return
         qr = self.runtimes[query_id]
-        if qr.finished or worker not in qr.mailboxes:
-            return  # stale dispatch (e.g. after a repartitioning rebucket)
+        if qr.finished:
+            return
+        if worker not in qr.mailboxes:
+            # stale dispatch: either a duplicate (this worker already
+            # consumed its mailbox — it is in ``computed``) or a
+            # repartitioning rebucket moved the mailbox to a different
+            # worker between dispatch and execution.  In the latter case the
+            # re-homed mailbox needs a task on its current owner — including
+            # an owner that already computed and acked (the rebucket merged
+            # new messages into its box), which must compute again and is
+            # therefore un-acked; duplicates are dropped silently.
+            if (
+                worker in qr.involved
+                and worker not in qr.acked
+                and worker not in qr.computed
+            ):
+                qr.involved.discard(worker)
+                in_flight = qr.involved - qr.acked - qr.computed
+                redirect = {w for w in qr.mailboxes if w not in in_flight}
+                for w in sorted(redirect):
+                    qr.involved.add(w)
+                    qr.acked.discard(w)
+                    qr.computed.discard(w)
+                    self.queue.schedule(
+                        now + self._ctrl_latency(w),
+                        "task_ready",
+                        query_id=query_id,
+                        worker=w,
+                    )
+                # new barrier generation: redundant acks issued before the
+                # repartition (possibly still in flight) must not complete
+                # the barrier on behalf of a redirected worker that has yet
+                # to recompute; already-arrived acks stay valid
+                qr.barrier_epoch += 1
+                if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+                    # re-issue the redundant acks the epoch bump invalidated
+                    # (incl. this demoted worker's own)
+                    for w in range(self.cluster.num_workers):
+                        if w not in qr.involved and w not in qr.acked:
+                            self.queue.schedule(
+                                now + self._ctrl_latency(w),
+                                "ack_task_ready",
+                                query_id=query_id,
+                                worker=w,
+                                epoch=qr.barrier_epoch,
+                            )
+                if not redirect and self._required_ackers(qr).issubset(qr.acked):
+                    self._resolve_query_barrier(
+                        qr, now + self._dispatch_cost(), local=False
+                    )
+            return
         self._execute_compute(qr, worker, now)
 
     def _execute_compute(self, qr: QueryRuntime, worker: int, now: float) -> None:
+        qr.computed.add(worker)
         w = self.workers[worker]
         result = w.execute_iteration(qr, self.graph, self.assignment)
         duration = w.compute_duration(
@@ -292,6 +356,7 @@ class QGraphEngine:
         local_candidate = (
             self.config.sync_mode is SyncMode.HYBRID
             and qr.involved == {worker}
+            and not qr.prior_participants  # interrupted iteration spanned more workers
             and not had_remote
             and not self.paused
         )
@@ -307,15 +372,20 @@ class QGraphEngine:
                 "barrier_ack",
                 query_id=query_id,
                 worker=worker,
+                epoch=qr.barrier_epoch,
             )
 
         if self.paused:
             self._maybe_begin_stop(now)
 
-    def _on_barrier_ack(self, now: float, query_id: int, worker: int) -> None:
+    def _on_barrier_ack(
+        self, now: float, query_id: int, worker: int, epoch: Optional[int] = None
+    ) -> None:
         qr = self.runtimes[query_id]
         if qr.finished:
             return
+        if epoch is not None and epoch != qr.barrier_epoch:
+            return  # ack from a previous barrier generation (e.g. pre-STOP)
         qr.acked.add(worker)
         required = self._required_ackers(qr)
         if required.issubset(qr.acked):
@@ -334,7 +404,10 @@ class QGraphEngine:
     def _resolve_query_barrier(self, qr: QueryRuntime, now: float, local: bool) -> None:
         query_id = qr.query.query_id
         self._reduce_aggregators(qr)
-        involved_count = len(qr.involved)
+        # count workers that computed pre-STOP parts of an interrupted
+        # iteration too, so STOP/START does not misclassify multi-worker
+        # iterations as local in the trace and controller statistics
+        involved_count = len(qr.involved | qr.prior_participants)
         self.controller.on_iteration(
             query_id,
             involved_count,
@@ -360,16 +433,18 @@ class QGraphEngine:
         qr.iteration += 1
         qr.involved = next_involved
         qr.acked = set()
+        qr.computed = set()
+        qr.prior_participants = set()
+        qr.barrier_epoch += 1
 
-        if local and next_involved == set(qr.mailboxes) and involved_count == 1:
+        if local and len(next_involved) == 1:
+            # stay in local mode: continue immediately on the same worker
+            # (the local_barrier_cost was already charged on the worker's
+            # CPU clock in _on_compute_done before this resolution)
             only = next(iter(next_involved))
-            if only in qr.mailboxes and len(next_involved) == 1:
-                # stay in local mode: continue immediately on the same worker
-                self.queue.schedule(
-                    now, "task_ready", query_id=query_id, worker=only
-                )
-                self._maybe_trigger_adaptation(now)
-                return
+            self.queue.schedule(now, "task_ready", query_id=query_id, worker=only)
+            self._maybe_trigger_adaptation(now)
+            return
 
         self.trace.barrier_releases += 1
         if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
@@ -381,6 +456,7 @@ class QGraphEngine:
                         "ack_task_ready",
                         query_id=query_id,
                         worker=w,
+                        epoch=qr.barrier_epoch,
                     )
         for w in sorted(next_involved):
             delivered = now + self._ctrl_latency(w)
@@ -388,10 +464,20 @@ class QGraphEngine:
             self.queue.schedule(ready, "task_ready", query_id=query_id, worker=w)
         self._maybe_trigger_adaptation(now)
 
-    def _on_ack_task_ready(self, now: float, query_id: int, worker: int) -> None:
-        """A non-involved worker processes a (redundant) global barrier ack."""
+    def _on_ack_task_ready(
+        self, now: float, query_id: int, worker: int, epoch: Optional[int] = None
+    ) -> None:
+        """A non-involved worker processes a (redundant) global barrier ack.
+
+        The ack is tagged with the barrier epoch it was *issued* for; a
+        stale ack still in flight across a STOP/START (which bumped the
+        epoch and re-issued fresh acks) is dropped instead of being
+        re-stamped with the new epoch.
+        """
         qr = self.runtimes[query_id]
         if qr.finished:
+            return
+        if epoch is not None and epoch != qr.barrier_epoch:
             return
         w = self.workers[worker]
         _start, finish = w.occupy(now, self.cluster.machine.barrier_ack_time)
@@ -401,6 +487,7 @@ class QGraphEngine:
             "barrier_ack",
             query_id=query_id,
             worker=worker,
+            epoch=qr.barrier_epoch if epoch is None else epoch,
         )
 
     def _reduce_aggregators(self, qr: QueryRuntime) -> None:
@@ -417,6 +504,7 @@ class QGraphEngine:
 
     def _finish_query(self, query_id: int, now: float) -> None:
         qr = self.runtimes[query_id]
+        qr.finalize_state()
         qr.finished = True
         self.running.discard(query_id)
         self.trace.query_finished(query_id, now)
@@ -435,6 +523,8 @@ class QGraphEngine:
         for query_id in sorted(self.running):
             qr = self.runtimes[query_id]
             qr.acked = set()
+            qr.computed = set()
+            qr.prior_participants = set()
             qr.involved = set(qr.mailboxes)
             if qr.involved:
                 self._bsp_participants.add(query_id)
@@ -591,9 +681,13 @@ class QGraphEngine:
             qr.release_pending = False
             self._resolve_query_barrier(qr, now, local=False)
 
-        # stage B: released queries whose compute dispatch was deferred
+        # stage B: released queries whose compute dispatch was deferred.
+        # Only the post-rebucket mailbox owners participate in the resumed
+        # iteration: pre-STOP acks are dropped (a worker in ``acked`` but
+        # not among the owners never computes again, so carrying them over
+        # would let the barrier resolve early or count phantom participants).
         seen: Set[int] = set(held_res)
-        for query_id, _w in held_tasks:
+        for query_id in dict.fromkeys(qid for qid, _w in held_tasks):
             if query_id in seen:
                 continue
             seen.add(query_id)
@@ -601,7 +695,18 @@ class QGraphEngine:
             if qr.finished:
                 continue
             owners = set(qr.mailboxes)
-            qr.involved = qr.acked | owners
+            # remember who already computed part of this iteration (for the
+            # iteration statistics) before dropping their stale acks
+            qr.prior_participants |= ((qr.acked & qr.involved) | qr.computed) - owners
+            qr.acked = set()
+            qr.computed = set()
+            qr.involved = owners
+            qr.barrier_epoch += 1
+            if not owners:
+                # every compute of the interrupted iteration already ran;
+                # its resolution is all that is left
+                self._resolve_query_barrier(qr, now, local=False)
+                continue
             for w in sorted(owners):
                 self.queue.schedule(
                     now + self._ctrl_latency(w),
@@ -609,6 +714,15 @@ class QGraphEngine:
                     query_id=query_id,
                     worker=w,
                 )
-            if not owners and self._required_ackers(qr).issubset(qr.acked):
-                self._resolve_query_barrier(qr, now, local=False)
+            if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+                # re-issue the redundant all-worker acks for the new epoch
+                for w in range(self.cluster.num_workers):
+                    if w not in owners:
+                        self.queue.schedule(
+                            now + self._dispatch_cost() + self._ctrl_latency(w),
+                            "ack_task_ready",
+                            query_id=query_id,
+                            worker=w,
+                            epoch=qr.barrier_epoch,
+                        )
         self._admit_pending(now)

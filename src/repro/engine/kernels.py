@@ -1,0 +1,538 @@
+"""Vectorized per-worker iteration kernels (the engine's hot path).
+
+The generic execution path runs :meth:`VertexProgram.compute` once per active
+vertex through Python dicts — flexible, but it caps every benchmark at toy
+scale.  For the built-in vertex programs the per-vertex work is a handful of
+arithmetic operations over the CSR arrays, so one iteration of one query on
+one worker can be expressed as a few numpy operations over the whole frontier
+at once.  That is what a :class:`QueryKernel` provides:
+
+* dense per-query *state buffers* (``make_state``) replacing the sparse
+  ``{vertex: state}`` dict,
+* an *array mailbox* representation (:class:`ArrayMailbox`): per-worker
+  frontiers are ``(vertices, messages)`` array pairs, combined lazily with
+  the program's combiner ufunc when the worker consumes them,
+* a vectorized :meth:`QueryKernel.step` that mirrors the program's
+  ``compute`` exactly — same improvement checks, same aggregator
+  contributions, same pruning rules, same message values — so the two paths
+  produce identical query answers (bit-identical for the ``min``-combining
+  programs; the sum-combining PageRank kernel may differ in the last float
+  bits because vector summation reorders the additions).
+
+A program opts in by returning a kernel from
+:meth:`VertexProgram.make_kernel`; programs that return ``None`` (the
+default) transparently fall back to the generic per-vertex path, so custom
+user programs keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "ArrayMailbox",
+    "QueryKernel",
+    "group_by_owner",
+    "contribute_partial",
+    "SsspKernel",
+    "BfsKernel",
+    "KHopKernel",
+    "ReachabilityKernel",
+    "LocalPageRankKernel",
+    "LocalWccKernel",
+    "PoiKernel",
+    "combine_by_vertex",
+    "expand_edges",
+]
+
+#: sentinel for "no state yet" in integer distance buffers
+_INT_UNSET = np.iinfo(np.int64).max
+
+
+def combine_by_vertex(
+    vertices: np.ndarray, messages: np.ndarray, combine: np.ufunc
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse duplicate targets: unique sorted vertices, combined messages."""
+    if vertices.size == 0:
+        return vertices, messages
+    order = np.argsort(vertices, kind="stable")
+    sv = vertices[order]
+    sm = messages[order]
+    starts = np.flatnonzero(np.r_[True, sv[1:] != sv[:-1]])
+    return sv[starts], combine.reduceat(sm, starts)
+
+
+def contribute_partial(agg_partial: Dict[str, Any], name: str, value: Any) -> None:
+    """Add one contribution to a worker's aggregator partial.
+
+    Mirrors :meth:`ComputeContext.aggregate`: partials are ``None`` or a
+    tuple of contributions, folded by ``reduce_aggregator`` at the barrier.
+    """
+    if name not in agg_partial:
+        raise EngineError(f"unknown aggregator {name!r}")
+    agg_partial[name] = (
+        (value,) if agg_partial[name] is None else agg_partial[name] + (value,)
+    )
+
+
+def group_by_owner(
+    assignment: np.ndarray, vertices: np.ndarray, messages: np.ndarray
+):
+    """Yield ``(owner, vertex_chunk, message_chunk)`` grouped by owning worker."""
+    if vertices.size == 0:
+        return
+    owners = assignment[vertices]
+    order = np.argsort(owners, kind="stable")
+    ov = owners[order]
+    sv = vertices[order]
+    sm = messages[order]
+    starts = np.flatnonzero(np.r_[True, ov[1:] != ov[:-1]])
+    bounds = np.r_[starts, ov.size]
+    for i in range(starts.size):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        yield int(ov[lo]), sv[lo:hi], sm[lo:hi]
+
+
+def expand_edges(indptr: np.ndarray, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge indices of all out-edges of ``vertices`` plus their source positions.
+
+    Returns ``(edge_idx, src_pos)`` where ``edge_idx`` indexes the CSR
+    ``indices``/``weights`` arrays and ``src_pos[i]`` is the position in
+    ``vertices`` the edge ``edge_idx[i]`` originates from.
+    """
+    degrees = indptr[vertices + 1] - indptr[vertices]
+    total = int(degrees.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    src_pos = np.repeat(np.arange(vertices.size, dtype=np.int64), degrees)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(degrees) - degrees, degrees
+    )
+    edge_idx = np.repeat(indptr[vertices], degrees) + offsets
+    return edge_idx, src_pos
+
+
+class ArrayMailbox:
+    """A per-worker query frontier as chunks of ``(vertices, messages)`` arrays.
+
+    Producers append raw (possibly duplicated) chunks; the consumer combines
+    them into a unique sorted frontier with the kernel's combiner ufunc.
+    This keeps delivery O(1) amortized and defers the sort to one place.
+    """
+
+    __slots__ = ("_vertex_chunks", "_message_chunks")
+
+    def __init__(self) -> None:
+        self._vertex_chunks: List[np.ndarray] = []
+        self._message_chunks: List[np.ndarray] = []
+
+    def append(self, vertices: np.ndarray, messages: np.ndarray) -> None:
+        if vertices.size == 0:
+            return
+        self._vertex_chunks.append(vertices)
+        self._message_chunks.append(messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._vertex_chunks)
+
+    def __len__(self) -> int:
+        return int(sum(c.size for c in self._vertex_chunks))
+
+    def concat(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All chunks concatenated (duplicates not yet combined)."""
+        if not self._vertex_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if len(self._vertex_chunks) == 1:
+            return self._vertex_chunks[0], self._message_chunks[0]
+        return (
+            np.concatenate(self._vertex_chunks),
+            np.concatenate(self._message_chunks),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArrayMailbox(pending={len(self)})"
+
+
+class QueryKernel(abc.ABC):
+    """Vectorized counterpart of one :class:`VertexProgram`.
+
+    Subclasses define the dense state layout and one frontier step; the
+    runtime/worker layers own scope tracking, message routing and the
+    aggregator barrier protocol (shared with the generic path).
+    """
+
+    #: dtype of the message array
+    message_dtype: Any = np.float64
+    #: combiner ufunc applied per target vertex (must match ``program.combine``)
+    combine: np.ufunc = np.minimum
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def make_state(self, graph: DiGraph) -> Any:
+        """Allocate the dense per-query state buffers."""
+
+    @abc.abstractmethod
+    def step(
+        self,
+        graph: DiGraph,
+        state: Any,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """One iteration over a combined frontier.
+
+        Mutates ``state`` in place and returns ``(targets, out_messages,
+        aggregator_contributions)`` — raw (uncombined) outgoing messages plus
+        per-step aggregator contributions (already reduced per worker).
+        """
+
+    @abc.abstractmethod
+    def state_dict(self, state: Any, scope_mask: np.ndarray) -> Dict[int, Any]:
+        """Sparse ``{vertex: state}`` view matching the generic path's dict."""
+
+    # ------------------------------------------------------------------
+    def encode_messages(
+        self, pairs: Iterable[Tuple[int, Any]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Convert ``(vertex, message)`` pairs (e.g. seeds) into arrays."""
+        pairs = list(pairs)
+        vertices = np.fromiter(
+            (v for v, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        messages = np.asarray([m for _, m in pairs], dtype=self.message_dtype)
+        return vertices, messages
+
+    def combine_arrays(
+        self, vertices: np.ndarray, messages: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return combine_by_vertex(vertices, messages, self.combine)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# distance-wavefront kernels (SSSP / POI / BFS / k-hop)
+# ----------------------------------------------------------------------
+class _BoundedWavefrontKernel(QueryKernel):
+    """Shared body of the weighted min-wavefront kernels (SSSP / POI).
+
+    One step: improve distances, contribute the ``bound`` aggregator from
+    terminal vertices (which stay silent), prune vertices and relayed
+    candidates against the committed bound, expand weighted out-edges.
+    Subclasses define only the terminal mask.
+    """
+
+    message_dtype = np.float64
+    combine = np.minimum
+
+    def make_state(self, graph: DiGraph) -> np.ndarray:
+        return np.full(graph.num_vertices, np.inf, dtype=np.float64)
+
+    def terminal_mask(self, graph: DiGraph, iv: np.ndarray) -> Optional[np.ndarray]:
+        """Boolean mask of improved vertices that terminate the wave there."""
+        raise NotImplementedError
+
+    def step(self, graph, dist, vertices, messages, agg_committed):
+        best = np.minimum(messages, dist[vertices])
+        improved = best < dist[vertices]
+        dist[vertices] = best
+        iv = vertices[improved]
+        ib = best[improved]
+
+        contribs: Dict[str, Any] = {}
+        terminal = self.terminal_mask(graph, iv)
+        if terminal is not None:
+            if terminal.any():
+                contribs["bound"] = float(ib[terminal].min())
+            iv = iv[~terminal]
+            ib = ib[~terminal]
+        bound = agg_committed.get("bound")
+        if bound is not None:
+            keep = ib < bound
+            iv = iv[keep]
+            ib = ib[keep]
+
+        csr = graph.csr()
+        edge_idx, src_pos = expand_edges(csr.indptr, iv)
+        targets = csr.indices[edge_idx]
+        candidates = ib[src_pos] + csr.weights[edge_idx]
+        if bound is not None:
+            keep = candidates < bound
+            targets = targets[keep]
+            candidates = candidates[keep]
+        return targets, candidates, contribs
+
+    def state_dict(self, dist, scope_mask):
+        return {int(v): float(dist[v]) for v in np.flatnonzero(scope_mask)}
+
+
+class SsspKernel(_BoundedWavefrontKernel):
+    """Bellman-Ford wavefront with optional target pruning (mirrors
+    :class:`repro.queries.sssp.SsspProgram`)."""
+
+    def __init__(self, target: Optional[int] = None) -> None:
+        self.target = target
+
+    def terminal_mask(self, graph, iv):
+        return iv == self.target if self.target is not None else None
+
+
+class PoiKernel(_BoundedWavefrontKernel):
+    """Expanding ring toward the nearest tagged vertex (mirrors
+    :class:`repro.queries.poi.PoiProgram`)."""
+
+    def terminal_mask(self, graph, iv):
+        if graph.tags is None:
+            raise EngineError("POI kernel requires a tagged graph")
+        return graph.tags[iv]
+
+
+class BfsKernel(QueryKernel):
+    """Hop wavefront with target pruning and depth cap (mirrors
+    :class:`repro.queries.bfs.BfsProgram`)."""
+
+    message_dtype = np.int64
+    combine = np.minimum
+
+    def __init__(
+        self, target: Optional[int] = None, max_depth: Optional[int] = None
+    ) -> None:
+        self.target = target
+        self.max_depth = max_depth
+
+    def make_state(self, graph: DiGraph) -> np.ndarray:
+        return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
+
+    def step(self, graph, depth, vertices, messages, agg_committed):
+        best = np.minimum(messages, depth[vertices])
+        improved = best < depth[vertices]
+        depth[vertices] = best
+        iv = vertices[improved]
+        ib = best[improved]
+
+        contribs: Dict[str, Any] = {}
+        if self.target is not None:
+            at_target = iv == self.target
+            if at_target.any():
+                contribs["bound"] = int(ib[at_target].min())
+            iv = iv[~at_target]
+            ib = ib[~at_target]
+        bound = agg_committed.get("bound")
+        if bound is not None:
+            # a vertex whose relayed depth+1 cannot beat the bound stays silent
+            keep = ib + 1 < bound
+            iv = iv[keep]
+            ib = ib[keep]
+        if self.max_depth is not None:
+            keep = ib < self.max_depth
+            iv = iv[keep]
+            ib = ib[keep]
+
+        csr = graph.csr()
+        edge_idx, src_pos = expand_edges(csr.indptr, iv)
+        targets = csr.indices[edge_idx]
+        out = ib[src_pos] + 1
+        return targets, out, contribs
+
+    def state_dict(self, depth, scope_mask):
+        return {int(v): int(depth[v]) for v in np.flatnonzero(scope_mask)}
+
+
+class KHopKernel(QueryKernel):
+    """Bounded hop exploration (mirrors :class:`repro.queries.khop.KHopProgram`)."""
+
+    message_dtype = np.int64
+    combine = np.minimum
+
+    def __init__(self, k: int) -> None:
+        self.k = int(k)
+
+    def make_state(self, graph: DiGraph) -> np.ndarray:
+        return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
+
+    def step(self, graph, depth, vertices, messages, agg_committed):
+        best = np.minimum(messages, depth[vertices])
+        improved = best < depth[vertices]
+        depth[vertices] = best
+        iv = vertices[improved]
+        ib = best[improved]
+        keep = ib < self.k
+        iv = iv[keep]
+        ib = ib[keep]
+
+        csr = graph.csr()
+        edge_idx, src_pos = expand_edges(csr.indptr, iv)
+        targets = csr.indices[edge_idx]
+        out = ib[src_pos] + 1
+        return targets, out, {}
+
+    def state_dict(self, depth, scope_mask):
+        return {int(v): int(depth[v]) for v in np.flatnonzero(scope_mask)}
+
+
+# ----------------------------------------------------------------------
+# reachability
+# ----------------------------------------------------------------------
+class ReachabilityKernel(QueryKernel):
+    """Directed flood with found-flag early termination (mirrors
+    :class:`repro.queries.reachability.ReachabilityProgram`)."""
+
+    message_dtype = np.bool_
+    combine = np.logical_or
+
+    def __init__(self, target: int) -> None:
+        self.target = int(target)
+
+    def make_state(self, graph: DiGraph) -> np.ndarray:
+        return np.zeros(graph.num_vertices, dtype=bool)
+
+    def step(self, graph, visited, vertices, messages, agg_committed):
+        fresh = vertices[~visited[vertices]]
+        visited[vertices] = True
+
+        contribs: Dict[str, Any] = {}
+        at_target = fresh == self.target
+        if at_target.any():
+            contribs["found"] = True
+        if agg_committed.get("found"):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=bool), contribs
+        relays = fresh[~at_target]
+
+        csr = graph.csr()
+        edge_idx, _src_pos = expand_edges(csr.indptr, relays)
+        targets = csr.indices[edge_idx]
+        return targets, np.ones(targets.size, dtype=bool), contribs
+
+    def state_dict(self, visited, scope_mask):
+        return {int(v): True for v in np.flatnonzero(scope_mask)}
+
+
+# ----------------------------------------------------------------------
+# localized personalized PageRank (forward push)
+# ----------------------------------------------------------------------
+class LocalPageRankKernel(QueryKernel):
+    """Forward-push PPR (mirrors
+    :class:`repro.queries.pagerank_local.LocalPageRankProgram`).
+
+    Note: messages combine by summation, so the vectorized path may differ
+    from the generic path in the last float bits (addition order).
+    """
+
+    message_dtype = np.float64
+    combine = np.add
+
+    def __init__(self, alpha: float, epsilon: float) -> None:
+        self.alpha = float(alpha)
+        self.epsilon = float(epsilon)
+
+    def make_state(self, graph: DiGraph) -> Tuple[np.ndarray, np.ndarray]:
+        n = graph.num_vertices
+        return (np.zeros(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
+
+    def step(self, graph, state, vertices, messages, agg_committed):
+        p, r = state
+        r[vertices] += messages
+        csr = graph.csr()
+        degrees = csr.indptr[vertices + 1] - csr.indptr[vertices]
+        thresholds = self.epsilon * np.maximum(degrees, 1)
+        push = r[vertices] >= thresholds
+        pv = vertices[push]
+        if pv.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64), {}
+        residual = r[pv]
+        p[pv] += self.alpha * residual
+        pdeg = degrees[push]
+        dangling = pdeg == 0
+        if dangling.any():
+            p[pv[dangling]] += (1.0 - self.alpha) * residual[dangling]
+        senders = pv[~dangling]
+        shares = (1.0 - self.alpha) * residual[~dangling] / pdeg[~dangling]
+        r[pv] = 0.0
+
+        edge_idx, src_pos = expand_edges(csr.indptr, senders)
+        targets = csr.indices[edge_idx]
+        return targets, shares[src_pos], {}
+
+    def state_dict(self, state, scope_mask):
+        p, r = state
+        return {
+            int(v): (float(p[v]), float(r[v])) for v in np.flatnonzero(scope_mask)
+        }
+
+
+# ----------------------------------------------------------------------
+# bounded min-label propagation (local WCC)
+# ----------------------------------------------------------------------
+class LocalWccKernel(QueryKernel):
+    """Hop-budgeted min-label propagation (mirrors
+    :class:`repro.queries.wcc_local.LocalWccProgram`).
+
+    ``(label, hops_left)`` messages are packed into one int64 key
+    ``label * (max_hops + 2) + (max_hops - hops)`` so that the program's
+    lexicographic preference (smaller label, then larger remaining budget)
+    becomes a plain ``min``.
+    """
+
+    message_dtype = np.int64
+    combine = np.minimum
+
+    def __init__(self, max_hops: int) -> None:
+        self.max_hops = int(max_hops)
+        self._base = self.max_hops + 2
+
+    def encode_key(self, label: int, hops: int) -> int:
+        return label * self._base + (self.max_hops - hops)
+
+    def decode_key(self, key: int) -> Tuple[int, int]:
+        return int(key // self._base), int(self.max_hops - key % self._base)
+
+    def encode_messages(self, pairs):
+        pairs = list(pairs)
+        vertices = np.fromiter(
+            (v for v, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        keys = np.fromiter(
+            (self.encode_key(label, hops) for _, (label, hops) in pairs),
+            dtype=np.int64,
+            count=len(pairs),
+        )
+        return vertices, keys
+
+    def make_state(self, graph: DiGraph) -> np.ndarray:
+        return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
+
+    def step(self, graph, keys, vertices, messages, agg_committed):
+        best = np.minimum(messages, keys[vertices])
+        improved = best < keys[vertices]
+        keys[vertices] = best
+        iv = vertices[improved]
+        ib = best[improved]
+        hops = self.max_hops - ib % self._base
+        keep = hops > 0
+        iv = iv[keep]
+        ib = ib[keep]
+
+        csr = graph.csr()
+        edge_idx, src_pos = expand_edges(csr.indptr, iv)
+        targets = csr.indices[edge_idx]
+        # relaying (label, hops - 1) increments the packed key by exactly 1
+        out = ib[src_pos] + 1
+        return targets, out, {}
+
+    def state_dict(self, keys, scope_mask):
+        return {
+            int(v): self.decode_key(int(keys[v]))
+            for v in np.flatnonzero(scope_mask)
+        }

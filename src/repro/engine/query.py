@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.errors import QueryError
+from repro.engine.kernels import ArrayMailbox, group_by_owner
 from repro.engine.vertex_program import VertexProgram
 
 __all__ = ["Query", "QueryRuntime"]
@@ -51,7 +54,19 @@ class Query:
 
 
 class QueryRuntime:
-    """Mutable engine-side execution state of one running query."""
+    """Mutable engine-side execution state of one running query.
+
+    Two mailbox/state representations coexist:
+
+    * **generic path** (``kernel is None``): mailboxes are
+      ``{worker: {vertex: combined message}}`` dicts and ``state`` is a
+      sparse ``{vertex: Dv}`` dict, as in the original implementation;
+    * **vectorized path** (``kernel`` set, for programs that provide a
+      :class:`~repro.engine.kernels.QueryKernel`): mailboxes are
+      ``{worker: ArrayMailbox}`` and the vertex data lives in the kernel's
+      dense numpy buffers (``kstate``) with scope tracked by ``scope_mask``;
+      ``state`` is materialized back into dict form when the query finishes.
+    """
 
     __slots__ = (
         "query",
@@ -63,21 +78,27 @@ class QueryRuntime:
         "iteration",
         "involved",
         "acked",
+        "computed",
+        "prior_participants",
+        "barrier_epoch",
         "agg_committed",
         "agg_partials",
         "scope",
         "finished",
         "release_pending",
+        "kernel",
+        "kstate",
+        "scope_mask",
     )
 
-    def __init__(self, query: Query) -> None:
+    def __init__(self, query: Query, graph=None) -> None:
         self.query = query
         #: query-local vertex data Dv (sparse: only activated vertices)
         self.state: Dict[int, Any] = {}
         #: worker -> {vertex -> combined message} for the *current* iteration
-        self.mailboxes: Dict[int, Dict[int, Any]] = {}
+        self.mailboxes: Dict[int, Any] = {}
         #: worker -> {vertex -> combined message} being filled for the next one
-        self.next_mailboxes: Dict[int, Dict[int, Any]] = {}
+        self.next_mailboxes: Dict[int, Any] = {}
         #: worker -> virtual time when its inbox for the next iteration is complete
         self.inbox_ready: Dict[int, float] = {}
         #: worker -> raw remote messages awaiting deserialization there
@@ -87,6 +108,16 @@ class QueryRuntime:
         self.involved: Set[int] = set()
         #: workers whose barrierSynch arrived for the current iteration
         self.acked: Set[int] = set()
+        #: workers that consumed their mailbox for the current iteration
+        #: (distinguishes duplicate dispatches from rebucket casualties)
+        self.computed: Set[int] = set()
+        #: workers that computed part of the current iteration before a
+        #: STOP/START interrupted it — no longer mailbox owners, but still
+        #: participants for the iteration statistics
+        self.prior_participants: Set[int] = set()
+        #: bumped whenever ``acked`` is reset; barrier acks from an older
+        #: epoch (e.g. in flight across a STOP/START barrier) are discarded
+        self.barrier_epoch = 0
         #: committed aggregator values (visible to compute this iteration)
         self.agg_committed: Dict[str, Any] = {}
         #: per-worker aggregator partials gathered during the current iteration
@@ -96,6 +127,15 @@ class QueryRuntime:
         self.finished = False
         #: set when a barrier resolution was deferred by a global STOP
         self.release_pending = False
+        #: vectorized iteration kernel (None -> generic per-vertex path)
+        self.kernel = query.program.make_kernel(graph) if graph is not None else None
+        #: kernel-owned dense state buffers
+        self.kstate: Any = None
+        #: dense activation flags replacing ``scope`` on the vectorized path
+        self.scope_mask: Optional[np.ndarray] = None
+        if self.kernel is not None:
+            self.kstate = self.kernel.make_state(graph)
+            self.scope_mask = np.zeros(graph.num_vertices, dtype=bool)
 
         for name, (_fn, identity) in query.program.aggregators().items():
             self.agg_committed[name] = identity
@@ -110,6 +150,33 @@ class QueryRuntime:
         else:
             box[vertex] = message
 
+    def deliver_array(
+        self,
+        worker: int,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        to_next: bool = True,
+    ) -> None:
+        """Append a message chunk to a worker's (next-)iteration array mailbox."""
+        if vertices.size == 0:
+            return
+        target = self.next_mailboxes if to_next else self.mailboxes
+        box = target.get(worker)
+        if box is None:
+            box = target[worker] = ArrayMailbox()
+        box.append(vertices, messages)
+
+    def seed_messages(self, pairs, assignment: np.ndarray) -> None:
+        """Deliver the program's seed messages through the active path."""
+        if self.kernel is None:
+            for vertex, message in pairs:
+                self.deliver(int(assignment[vertex]), vertex, message, to_next=True)
+            return
+        vertices, messages = self.kernel.encode_messages(pairs)
+        vertices, messages = self.kernel.combine_arrays(vertices, messages)
+        for owner, vchunk, mchunk in group_by_owner(assignment, vertices, messages):
+            self.deliver_array(owner, vchunk, mchunk)
+
     def rotate_mailboxes(self) -> None:
         """Promote next-iteration mailboxes to current (at barrier release)."""
         self.mailboxes = {w: box for w, box in self.next_mailboxes.items() if box}
@@ -121,18 +188,44 @@ class QueryRuntime:
         return {w for w, box in self.next_mailboxes.items() if box}
 
     def rebucket(self, assignment) -> None:
-        """Re-home mailbox entries after vertices moved between workers."""
+        """Re-home mailbox entries after vertices moved between workers.
+
+        Handles both mailbox generations and both representations (dict
+        boxes on the generic path, :class:`ArrayMailbox` chunks on the
+        vectorized path).
+        """
         for attr in ("mailboxes", "next_mailboxes"):
-            old: Dict[int, Dict[int, Any]] = getattr(self, attr)
-            fresh: Dict[int, Dict[int, Any]] = {}
+            old: Dict[int, Any] = getattr(self, attr)
+            fresh: Dict[int, Any] = {}
             for _w, box in old.items():
-                for v, msg in box.items():
-                    fresh.setdefault(int(assignment[v]), {})[v] = msg
+                if isinstance(box, ArrayMailbox):
+                    vertices, messages = box.concat()
+                    for owner, vchunk, mchunk in group_by_owner(
+                        assignment, vertices, messages
+                    ):
+                        dest = fresh.get(owner)
+                        if dest is None:
+                            dest = fresh[owner] = ArrayMailbox()
+                        dest.append(vchunk, mchunk)
+                else:
+                    for v, msg in box.items():
+                        fresh.setdefault(int(assignment[v]), {})[v] = msg
             setattr(self, attr, fresh)
+
+    def materialized_state(self) -> Dict[int, Any]:
+        """The sparse ``{vertex: Dv}`` view, whichever path is active."""
+        if self.kernel is not None and not self.finished:
+            return self.kernel.state_dict(self.kstate, self.scope_mask)
+        return self.state
+
+    def finalize_state(self) -> None:
+        """Freeze the kernel buffers back into the sparse dict (at finish)."""
+        if self.kernel is not None:
+            self.state = self.kernel.state_dict(self.kstate, self.scope_mask)
 
     def snapshot_result(self, graph) -> Any:
         """The query answer per the program's result extractor."""
-        return self.query.program.result(self.state, graph)
+        return self.query.program.result(self.materialized_state(), graph)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

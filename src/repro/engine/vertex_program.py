@@ -22,6 +22,11 @@ Three extension points matter:
     Message combiner — merged sender-side and receiver-side, like Pregel
     combiners.  Must be commutative and associative.
 
+A fourth, optional extension point is ``make_kernel``: returning a
+:class:`repro.engine.kernels.QueryKernel` switches the engine to the
+numpy-vectorized iteration path for this program (all built-in query types
+do); returning ``None`` keeps the generic per-vertex path below.
+
 Aggregators mirror Pregel aggregators: values contributed during iteration
 ``i`` are reduced at the barrier and visible to every vertex in iteration
 ``i+1`` (the engine reduces them locally when the query runs under a *local*
@@ -142,6 +147,17 @@ class VertexProgram(abc.ABC):
     def aggregators(self) -> Dict[str, AggregatorSpec]:
         """Aggregator declarations: name -> (reduce_fn, identity)."""
         return {}
+
+    def make_kernel(self, graph: DiGraph) -> Optional["Any"]:
+        """Vectorized iteration kernel for this program, or ``None``.
+
+        Returning a :class:`repro.engine.kernels.QueryKernel` opts the
+        program into the numpy-vectorized per-worker iteration path; the
+        kernel's ``step`` must be semantically identical to :meth:`compute`
+        (see ``docs/engine.md``).  The default ``None`` keeps the generic
+        per-vertex path, so custom programs work without a kernel.
+        """
+        return None
 
     def result(self, state: Dict[int, Any], graph: DiGraph) -> Any:
         """Extract the query answer from the final vertex states."""

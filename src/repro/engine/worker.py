@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from repro.engine.kernels import contribute_partial, group_by_owner
 from repro.engine.query import QueryRuntime
 from repro.engine.vertex_program import ComputeContext
 from repro.graph.digraph import DiGraph
@@ -85,6 +86,10 @@ class SimWorker:
         mailbox = qr.mailboxes.pop(self.wid, None)
         if not mailbox:
             return result
+        if qr.kernel is not None:
+            self._execute_vectorized(qr, graph, assignment, mailbox, result)
+            self.vertex_executions += result.executed_vertices
+            return result
 
         program = qr.query.program
         agg_partial = qr.agg_partials.setdefault(self.wid, {})
@@ -117,6 +122,60 @@ class SimWorker:
 
         self.vertex_executions += result.executed_vertices
         return result
+
+    # ------------------------------------------------------------------
+    def _execute_vectorized(
+        self,
+        qr: QueryRuntime,
+        graph: DiGraph,
+        assignment: np.ndarray,
+        mailbox,
+        result: IterationResult,
+    ) -> None:
+        """Array-mailbox iteration through the program's QueryKernel.
+
+        Counter-for-counter equivalent to the generic loop: executed
+        vertices and visited edges are the combined frontier, message counts
+        are the raw (pre-combining) sends, so the virtual-time cost model
+        charges both paths identically.
+        """
+        kernel = qr.kernel
+        vertices, messages = kernel.combine_arrays(*mailbox.concat())
+        result.executed_vertices = int(vertices.size)
+        indptr = graph.csr().indptr
+        result.visited_edges = int((indptr[vertices + 1] - indptr[vertices]).sum())
+
+        newly = vertices[~qr.scope_mask[vertices]]
+        if newly.size:
+            qr.scope_mask[newly] = True
+            activated = newly.tolist()
+            result.activated.extend(activated)
+            # keep the sparse scope set in sync: external consumers (e.g.
+            # per-city grouping in the examples) read it on both paths
+            qr.scope.update(activated)
+
+        agg_partial = qr.agg_partials.setdefault(self.wid, {})
+        for name in qr.agg_committed:
+            agg_partial.setdefault(name, None)
+
+        targets, out_messages, contribs = kernel.step(
+            graph, qr.kstate, vertices, messages, qr.agg_committed
+        )
+        for name, value in contribs.items():
+            contribute_partial(agg_partial, name, value)
+
+        for dest, vchunk, mchunk in group_by_owner(assignment, targets, out_messages):
+            qr.deliver_array(dest, vchunk, mchunk)
+            count = int(vchunk.size)
+            if dest == self.wid:
+                result.local_messages += count
+            else:
+                result.remote_messages[dest] = (
+                    result.remote_messages.get(dest, 0) + count
+                )
+                qr.pending_remote_inbound[dest] = (
+                    qr.pending_remote_inbound.get(dest, 0) + count
+                )
 
     # ------------------------------------------------------------------
     def compute_duration(

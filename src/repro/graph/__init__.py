@@ -1,7 +1,7 @@
 """Graph substrate: CSR storage, builders, IO, generators, metrics."""
 
 from repro.graph.builder import GraphBuilder
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import CSRView, DiGraph
 from repro.graph.generators import (
     NY_CUTS,
     NY_DISTRICT_NAMES,
@@ -11,6 +11,7 @@ from repro.graph.generators import (
     grid_graph,
     new_york_districts,
     random_geometric,
+    rmat_graph,
     watts_strogatz,
 )
 from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
@@ -32,6 +33,7 @@ from repro.graph.road_network import (
 
 __all__ = [
     "DiGraph",
+    "CSRView",
     "GraphBuilder",
     "new_york_districts",
     "NY_CUTS",

@@ -24,13 +24,26 @@ used by the reproduction:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import GraphError
 
-__all__ = ["DiGraph"]
+__all__ = ["DiGraph", "CSRView"]
+
+
+class CSRView(NamedTuple):
+    """Borrowed view of the out-adjacency CSR arrays.
+
+    Handed to the vectorized iteration kernels so the hot path does a single
+    attribute lookup per iteration instead of three property calls per edge
+    expansion.  The arrays are the graph's own buffers — do not mutate.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
 
 
 class DiGraph:
@@ -63,6 +76,7 @@ class DiGraph:
         "_rweights",
         "_coords",
         "_tags",
+        "_csr_view",
         "name",
     )
 
@@ -113,6 +127,7 @@ class DiGraph:
                 raise GraphError(f"tags must have shape ({n},), got {tags.shape}")
         self._tags = tags
 
+        self._csr_view: Optional[CSRView] = None
         self._rindptr, self._rindices, self._rweights = self._build_reverse()
 
     # ------------------------------------------------------------------
@@ -174,6 +189,23 @@ class DiGraph:
     def tags(self) -> Optional[np.ndarray]:
         """Boolean point-of-interest markers or ``None``."""
         return self._tags
+
+    def csr(self) -> CSRView:
+        """Cached :class:`CSRView` of the out-adjacency for the kernel layer.
+
+        The view is built on first use and cached; :class:`DiGraph` is
+        immutable, but any future mutating subclass must call
+        :meth:`_invalidate_csr` after changing the adjacency arrays.
+        """
+        view = self._csr_view
+        if view is None:
+            view = CSRView(self._indptr, self._indices, self._weights)
+            self._csr_view = view
+        return view
+
+    def _invalidate_csr(self) -> None:
+        """Drop the cached CSR view (call after mutating adjacency arrays)."""
+        self._csr_view = None
 
     def has_coords(self) -> bool:
         """Whether planar coordinates are attached."""

@@ -39,6 +39,7 @@ __all__ = [
     "random_geometric",
     "watts_strogatz",
     "barabasi_albert",
+    "rmat_graph",
 ]
 
 
@@ -263,3 +264,58 @@ def barabasi_albert(n: int, m: int, seed: int = 0, weight: float = 1.0) -> DiGra
         builder.add_bidirectional_edge(u, v, weight)
     del targets_pool
     return builder.build(name=f"ba-{n}-{m}")
+
+
+def rmat_graph(
+    n: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    weight_range: Tuple[float, float] = (1.0, 2.0),
+) -> DiGraph:
+    """Recursive-matrix (R-MAT, Graph500-style) power-law random graph.
+
+    Samples ``n * edge_factor`` directed edges by recursively descending the
+    adjacency matrix with quadrant probabilities ``(a, b, c, 1-a-b-c)``;
+    endpoint bits beyond ``log2(n)`` are folded back with a modulo, so the
+    graph has exactly ``n`` vertices for any ``n``.  Self-loops are dropped.
+    Edge weights are uniform in ``weight_range`` (set both ends equal for an
+    unweighted graph).  This is the scale-free workhorse for the kernel
+    benchmarks — it stresses the frontier-vectorized iteration path with the
+    skewed degree distribution of web/social graphs.
+    """
+    if n < 2:
+        raise GraphError("rmat_graph needs n >= 2")
+    if edge_factor < 1:
+        raise GraphError("edge_factor must be >= 1")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0.0:
+        raise GraphError("quadrant probabilities must be non-negative")
+    rng = np.random.default_rng(seed)
+    scale = int(np.ceil(np.log2(n)))
+    m = int(n) * int(edge_factor)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _level in range(scale):
+        u = rng.random(m)
+        src_bit = u >= a + b
+        dst_bit = ((u >= a) & (u < a + b)) | (u >= a + b + c)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    src %= n
+    dst %= n
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    lo, hi = weight_range
+    weights = (
+        np.full(src.size, float(lo))
+        if lo == hi
+        else rng.uniform(float(lo), float(hi), src.size)
+    )
+    order = np.lexsort((dst, src))
+    src, dst, weights = src[order], dst[order], weights[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(np.bincount(src, minlength=n))
+    return DiGraph(indptr, dst, weights, name=f"rmat-{n}-{edge_factor}")

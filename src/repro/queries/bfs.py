@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.engine.kernels import BfsKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -44,6 +45,9 @@ class BfsProgram(VertexProgram):
 
     def aggregators(self):
         return {"bound": (min, None)}
+
+    def make_kernel(self, graph: DiGraph) -> BfsKernel:
+        return BfsKernel(target=self.target, max_depth=self.max_depth)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         depth = message if state is None else (message if message < state else state)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.engine.kernels import KHopKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -36,6 +37,9 @@ class KHopProgram(VertexProgram):
 
     def combine(self, a: int, b: int) -> int:
         return a if a <= b else b
+
+    def make_kernel(self, graph: DiGraph) -> KHopKernel:
+        return KHopKernel(self.k)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         depth = message if state is None else (message if message < state else state)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
+from repro.engine.kernels import LocalPageRankKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -49,6 +50,9 @@ class LocalPageRankProgram(VertexProgram):
 
     def combine(self, a: float, b: float) -> float:
         return a + b
+
+    def make_kernel(self, graph: DiGraph) -> LocalPageRankKernel:
+        return LocalPageRankKernel(self.alpha, self.epsilon)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         p, r = state if state is not None else (0.0, 0.0)

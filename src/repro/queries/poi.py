@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.engine.kernels import PoiKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -41,6 +42,9 @@ class PoiProgram(VertexProgram):
 
     def aggregators(self):
         return {"bound": (min, None)}
+
+    def make_kernel(self, graph: DiGraph):
+        return PoiKernel() if graph.has_tags() else None
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         best = message if state is None else (message if message < state else state)

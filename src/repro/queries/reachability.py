@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
+from repro.engine.kernels import ReachabilityKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -39,6 +40,9 @@ class ReachabilityProgram(VertexProgram):
 
     def aggregators(self):
         return {"found": (_or, False)}
+
+    def make_kernel(self, graph: DiGraph) -> ReachabilityKernel:
+        return ReachabilityKernel(self.target)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         if state:  # already visited: nothing new to do

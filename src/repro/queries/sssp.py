@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine.kernels import SsspKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -53,6 +54,9 @@ class SsspProgram(VertexProgram):
 
     def aggregators(self):
         return {"bound": (min, None)}
+
+    def make_kernel(self, graph: DiGraph) -> SsspKernel:
+        return SsspKernel(target=self.target)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         best = message if state is None else (message if message < state else state)

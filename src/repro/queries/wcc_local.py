@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple
 
+from repro.engine.kernels import LocalWccKernel
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.errors import QueryError
 from repro.graph.digraph import DiGraph
@@ -44,6 +45,9 @@ class LocalWccProgram(VertexProgram):
         if b[0] < a[0]:
             return b
         return a if a[1] >= b[1] else b
+
+    def make_kernel(self, graph: DiGraph) -> LocalWccKernel:
+        return LocalWccKernel(self.max_hops)
 
     def compute(self, ctx: ComputeContext, vertex: int, state: Any, message: Any) -> Any:
         label, hops = message

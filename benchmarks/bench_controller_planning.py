@@ -1,0 +1,205 @@
+"""Controller Monitor→Plan pipeline: array-backed vs set-based planning.
+
+The paper claims Q-cut planning is cheap because the controller "operates on
+a small number of queries rather than a large number of vertices" and fits a
+2-second budget (§3.2.2, §3.4).  This benchmark times the **full
+Monitor→Plan path** — scope ingestion, pairwise intersections, Karger
+clustering, snapshot construction, and the ILS — on an R-MAT graph with
+hotspot-localized overlapping queries, once through the vectorized
+``ScopeStore`` backend (``ControllerConfig(planning_backend="vectorized")``,
+the default) and once through the retained set-based reference backend.
+
+Assertions (the PR's acceptance bar):
+
+* on a smaller instance both backends emit an **identical MovePlan**
+  (same costs, same moves, same vertex sets);
+* at full scale (>= 200k vertices, 128 queries) the vectorized pipeline is
+  at least 5x faster end to end.
+
+Machine-readable results are written to ``BENCH_controller.json`` so the
+planning-latency trajectory is tracked across PRs.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_controller_planning.py
+Environment knobs: REPRO_CTRL_BENCH_VERTICES, REPRO_CTRL_BENCH_QUERIES,
+REPRO_CTRL_BENCH_MIN_SPEEDUP (0 disables the timing gate, e.g. on CI),
+REPRO_CTRL_BENCH_JSON (output path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import Controller, ControllerConfig, MovePlan
+from repro.graph import rmat_graph
+from repro.partitioning import HashPartitioner
+from repro.util import concat_ranges
+
+NUM_VERTICES = int(os.environ.get("REPRO_CTRL_BENCH_VERTICES", 200_000))
+NUM_QUERIES = int(os.environ.get("REPRO_CTRL_BENCH_QUERIES", 128))
+NUM_WORKERS = 8
+NUM_HOTSPOTS = 8
+#: wall-clock gate; set to 0 (e.g. on noisy shared CI runners) to assert
+#: only MovePlan identity and skip the timing assertion
+MIN_SPEEDUP = float(os.environ.get("REPRO_CTRL_BENCH_MIN_SPEEDUP", 5.0))
+JSON_PATH = os.environ.get("REPRO_CTRL_BENCH_JSON", "BENCH_controller.json")
+
+#: smaller instance for the exact-equivalence check
+EQUIV_VERTICES = 4_000
+EQUIV_QUERIES = 32
+
+
+def _bfs_scope(graph, seed: int, target: int) -> np.ndarray:
+    """Breadth-first ball of ~``target`` vertices around ``seed``."""
+    csr = graph.csr()
+    n = graph.num_vertices
+    mask = np.zeros(n, dtype=bool)
+    mask[seed] = True
+    frontier = np.array([seed], dtype=np.int64)
+    scope = [frontier]
+    count = 1
+    while count < target and frontier.size:
+        counts = csr.indptr[frontier + 1] - csr.indptr[frontier]
+        if int(counts.sum()) == 0:
+            break
+        nbrs = csr.indices[concat_ranges(csr.indptr[frontier], counts)]
+        nbrs = np.unique(nbrs[~mask[nbrs]])
+        if nbrs.size == 0:
+            break
+        mask[nbrs] = True
+        frontier = nbrs
+        scope.append(nbrs)
+        count += nbrs.size
+    out = np.concatenate(scope)
+    return out[:target]
+
+
+def build_workload(
+    num_vertices: int, num_queries: int, seed: int = 1
+) -> Tuple[object, np.ndarray, List[np.ndarray]]:
+    """R-MAT graph, hash assignment, and overlapping hotspot query scopes."""
+    graph = rmat_graph(num_vertices, 8, seed=seed)
+    assignment = HashPartitioner(seed=0).partition(graph, NUM_WORKERS)
+    rng = np.random.default_rng(seed + 7)
+    hubs = graph.out_degrees().argsort()[-NUM_HOTSPOTS * 4 :][::-1]
+    target = max(64, num_vertices // 50)
+    scopes = []
+    for qid in range(num_queries):
+        # queries cluster on hotspots: same hub neighbourhood, jittered start
+        hotspot = qid % NUM_HOTSPOTS
+        start = int(hubs[hotspot * 4 + int(rng.integers(0, 4))])
+        scopes.append(_bfs_scope(graph, start, target))
+    return graph, assignment, scopes
+
+
+def run_pipeline(
+    backend: str,
+    assignment: np.ndarray,
+    scopes: List[np.ndarray],
+    chunks_per_query: int = 4,
+) -> Tuple[float, MovePlan]:
+    """Time scope ingestion + Analyze + Plan for one backend."""
+    config = ControllerConfig(
+        planning_backend=backend,
+        min_queries_for_qcut=1,
+        max_tracked_queries=max(128, len(scopes)),
+        ils_rounds=12,  # identical (deterministic) ILS budget for both arms
+        seed=11,
+    )
+    ctrl = Controller(NUM_WORKERS, config)
+    t0 = time.perf_counter()
+    # Monitor: each query reports activations over several barrier rounds
+    for qid, scope in enumerate(scopes):
+        ctrl.on_query_started(qid, float(qid))
+        for i, chunk in enumerate(np.array_split(scope, chunks_per_query)):
+            ctrl.on_iteration(qid, NUM_WORKERS, chunk.tolist(), float(qid) + 0.1 * i)
+    # Analyze: the Φ / δ trigger signals
+    ctrl.average_locality()
+    ctrl.estimate_imbalance(assignment)
+    # Plan: intersections -> clustering -> snapshot -> ILS
+    ctrl.begin_qcut(assignment, 1_000.0)
+    plan = ctrl.complete_qcut(1_001.0)
+    wall = time.perf_counter() - t0
+    return wall, plan
+
+
+def canonical_plan(plan: MovePlan) -> Tuple:
+    """Order-insensitive MovePlan fingerprint for equality checks."""
+    return (
+        round(plan.cost_before, 6),
+        round(plan.cost_after, 6),
+        sorted(
+            (m.src, m.dst, tuple(sorted(m.vertices.tolist()))) for m in plan.moves
+        ),
+    )
+
+
+def run_comparison() -> Dict[str, float]:
+    # --- equivalence on a small instance -------------------------------
+    _, small_assignment, small_scopes = build_workload(
+        EQUIV_VERTICES, EQUIV_QUERIES, seed=3
+    )
+    _, plan_vec = run_pipeline("vectorized", small_assignment, small_scopes)
+    _, plan_ref = run_pipeline("reference", small_assignment, small_scopes)
+    assert canonical_plan(plan_vec) == canonical_plan(plan_ref), (
+        "vectorized and reference planning produced different MovePlans"
+    )
+    assert plan_vec.moves, "equivalence instance should produce moves"
+
+    # --- timing at full scale ------------------------------------------
+    graph, assignment, scopes = build_workload(NUM_VERTICES, NUM_QUERIES)
+    wall_vec, big_vec = run_pipeline("vectorized", assignment, scopes)
+    wall_ref, big_ref = run_pipeline("reference", assignment, scopes)
+    assert canonical_plan(big_vec) == canonical_plan(big_ref), (
+        "backends diverged at full scale"
+    )
+    speedup = wall_ref / wall_vec
+    stats = {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "queries": NUM_QUERIES,
+        "workers": NUM_WORKERS,
+        "scope_vertices": int(sum(s.size for s in scopes)),
+        "wall_reference": round(wall_ref, 4),
+        "wall_vectorized": round(wall_vec, 4),
+        "speedup": round(speedup, 2),
+        "moves": len(big_vec.moves),
+        "moved_vertices": big_vec.moved_vertices,
+        "cost_before": big_vec.cost_before,
+        "cost_after": big_vec.cost_after,
+    }
+    print(
+        f"\ncontroller planning: {NUM_QUERIES} queries on "
+        f"{graph.num_vertices} vertices: reference {wall_ref:.2f}s vs "
+        f"vectorized {wall_vec:.2f}s -> {speedup:.1f}x "
+        f"(plans identical; {len(big_vec.moves)} moves relocating "
+        f"{big_vec.moved_vertices} vertices, cost {big_vec.cost_before:.0f} "
+        f"-> {big_vec.cost_after:.0f})"
+    )
+    with open(JSON_PATH, "w") as fh:
+        json.dump(stats, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {JSON_PATH}")
+    if MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, (
+            f"vectorized planning only {speedup:.2f}x faster "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+    return {
+        "wall_reference": wall_ref,
+        "wall_vectorized": wall_vec,
+        "speedup": speedup,
+    }
+
+
+def test_controller_planning(benchmark, record_info):
+    stats = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record_info(**stats)
+
+
+if __name__ == "__main__":
+    run_comparison()

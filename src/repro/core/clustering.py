@@ -17,7 +17,8 @@ non-overlapping groups than ``4k``, the smallest groups are merged last
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import heapq
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -87,11 +88,14 @@ def cluster_queries(
     rng = np.random.default_rng(seed)
 
     if overlaps and uf.count > max_clusters:
-        pairs = [
+        # sorted so the contraction order depends only on the overlap
+        # *contents*, not on dict insertion order — the vectorized and
+        # reference intersection paths then cluster identically
+        pairs = sorted(
             (index[a], index[b], w)
             for (a, b), w in overlaps.items()
             if a in index and b in index and w > 0
-        ]
+        )
         if pairs:
             weights = np.array([w for (_, _, w) in pairs], dtype=np.float64)
             # Karger: pick edges with probability proportional to weight.
@@ -106,16 +110,26 @@ def cluster_queries(
                 uf.union(a, b)
 
     # Merge overlapping groups first; if still too many clusters (many
-    # disjoint queries), merge smallest-first to respect the hard cap.
+    # disjoint queries), merge smallest-first to respect the hard cap.  A
+    # size-keyed heap with lazy invalidation keeps the disjoint-singleton
+    # case O(n log n); entries are stale once their root was absorbed or
+    # grew, and are simply discarded on pop.
     if uf.count > max_clusters:
-        roots = sorted({uf.find(i) for i in range(n)}, key=lambda r: (uf.size[r], r))
-        i = 0
-        while uf.count > max_clusters and i + 1 < len(roots):
-            uf.union(roots[i], roots[i + 1])
-            roots = sorted(
-                {uf.find(r) for r in roots}, key=lambda r: (uf.size[r], r)
-            )
-            i = 0  # re-evaluate smallest pair after each merge
+        heap = [(uf.size[r], r) for r in {uf.find(i) for i in range(n)}]
+        heapq.heapify(heap)
+
+        def pop_root() -> int:
+            while True:
+                size, root = heapq.heappop(heap)
+                if uf.find(root) == root and uf.size[root] == size:
+                    return root
+
+        while uf.count > max_clusters:
+            a = pop_root()
+            b = pop_root()
+            uf.union(a, b)
+            merged = uf.find(a)
+            heapq.heappush(heap, (uf.size[merged], merged))
 
     # densify cluster labels
     label: Dict[int, int] = {}

@@ -28,7 +28,7 @@ from repro.core.api import MoveRequest
 from repro.core.clustering import cluster_queries
 from repro.core.ils import IlsResult, iterated_local_search
 from repro.core.monitoring import QueryMonitor
-from repro.core.scopes import QueryScopes, pairwise_intersections
+from repro.core.scopes import QueryScopes, ScopeStore, pairwise_intersections
 from repro.core.state import Fragment, QcutState
 from repro.errors import ControllerError
 
@@ -63,6 +63,11 @@ class ControllerConfig:
         Minimum virtual seconds between consecutive repartitionings.
     min_queries_for_qcut:
         Do not bother repartitioning with fewer observed queries.
+    planning_backend:
+        ``"vectorized"`` (default) runs Monitor/Plan on the array-backed
+        :class:`~repro.core.scopes.ScopeStore`; ``"reference"`` keeps the
+        original set-based path (used by the equivalence tests and the
+        planning benchmark).  Both produce the same :class:`MovePlan`.
     """
 
     mu: float = 240.0
@@ -75,6 +80,7 @@ class ControllerConfig:
     qcut_cooldown: float = 20.0
     min_queries_for_qcut: int = 4
     seed: int = 0
+    planning_backend: str = "vectorized"
 
 
 @dataclass
@@ -102,10 +108,18 @@ class Controller:
             raise ControllerError("need at least one worker")
         self.k = num_workers
         self.config = config or ControllerConfig()
+        if self.config.planning_backend not in ("vectorized", "reference"):
+            raise ControllerError(
+                f"unknown planning backend {self.config.planning_backend!r}"
+            )
         self.monitor = QueryMonitor(
             window=self.config.mu, max_queries=self.config.max_tracked_queries
         )
-        self.scopes = QueryScopes()
+        self.scopes = (
+            ScopeStore()
+            if self.config.planning_backend == "vectorized"
+            else QueryScopes()
+        )
         self.last_qcut_time = -float("inf")
         self._qcut_running = False
         self._snapshot: Optional[Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]] = None
@@ -119,7 +133,8 @@ class Controller:
     # Monitor
     # ------------------------------------------------------------------
     def on_query_started(self, query_id: int, now: float) -> None:
-        self.monitor.record_start(query_id, now)
+        for evicted in self.monitor.record_start(query_id, now):
+            self.scopes.drop(evicted)
 
     def on_iteration(
         self,
@@ -129,7 +144,8 @@ class Controller:
         now: float,
     ) -> None:
         """Digest one piggybacked stats + barrierSynch round for a query."""
-        self.monitor.record_iteration(query_id, involved_workers, now)
+        for evicted in self.monitor.record_iteration(query_id, involved_workers, now):
+            self.scopes.drop(evicted)
         if activated_vertices:
             self.scopes.add_activations(query_id, activated_vertices)
 
@@ -148,10 +164,19 @@ class Controller:
         ``L_w = (|V(w)| + sum_q |LS(q, w)|) / 2`` computed from the scope
         table; returns ``(max - min) / max`` over workers.
         """
-        scope_mass = np.zeros(self.k, dtype=np.float64)
-        for qid in self.monitor.tracked_queries():
-            if self.scopes.global_scope_size(qid):
-                scope_mass += self.scopes.local_scope_sizes(qid, assignment, self.k)
+        tracked = self.monitor.tracked_queries()
+        if isinstance(self.scopes, ScopeStore):
+            # one bincount over the incidence structure for all queries
+            scope_mass = self.scopes.scope_mass(
+                assignment, self.k, query_ids=tracked
+            ).astype(np.float64)
+        else:
+            scope_mass = np.zeros(self.k, dtype=np.float64)
+            for qid in tracked:
+                if self.scopes.global_scope_size(qid):
+                    scope_mass += self.scopes.local_scope_sizes(
+                        qid, assignment, self.k
+                    )
         vertices = np.bincount(assignment, minlength=self.k).astype(np.float64)
         loads = (vertices + scope_mass) / 2.0
         top = loads.max()
@@ -204,11 +229,90 @@ class Controller:
         self, assignment: np.ndarray
     ) -> Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]:
         """High-level representation: clusters -> per-worker fragments."""
-        query_ids = [
+        if self.config.planning_backend == "vectorized" and isinstance(
+            self.scopes, ScopeStore
+        ):
+            return self._build_snapshot_vectorized(assignment)
+        return self._build_snapshot_reference(assignment)
+
+    def _nonempty_tracked_queries(self) -> List[int]:
+        return [
             qid
             for qid in self.monitor.tracked_queries()
             if self.scopes.global_scope_size(qid) > 0
         ]
+
+    def _build_snapshot_vectorized(
+        self, assignment: np.ndarray
+    ) -> Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]:
+        """Array-backed snapshot: every per-query/per-cluster loop of the
+        reference path becomes a bincount/unique pass over the scope store's
+        incidence structure.  Produces the same fragments (and therefore the
+        same :class:`MovePlan`) as :meth:`_build_snapshot_reference`."""
+        store: ScopeStore = self.scopes
+        query_ids = self._nonempty_tracked_queries()
+        overlaps = store.pairwise_intersections(query_ids=query_ids)
+        max_clusters = max(self.config.clusters_per_worker * self.k, 1)
+        labels = cluster_queries(
+            query_ids, overlaps, max_clusters, seed=self.config.seed + self._qcut_count
+        )
+        num_units = max(labels.values()) + 1 if labels else 0
+        if num_units == 0:
+            return self._finalize_snapshot(assignment, num_units, [], {})
+
+        # per-query local sizes -> per-cluster weighted masses in one
+        # scatter-add (shared vertices count once per member query)
+        sizes, row_qids = store.local_size_matrix(assignment, self.k, query_ids)
+        unit_of_row = np.array([labels[int(q)] for q in row_qids], dtype=np.int64)
+        weighted = np.zeros((num_units, self.k), dtype=np.int64)
+        np.add.at(weighted, unit_of_row, sizes)
+
+        # distinct (unit, vertex) incidences via one encoded np.unique —
+        # the union mass is what a move actually relocates
+        verts, scope_sizes, _qids = store.incidence(query_ids)
+        units = np.repeat(unit_of_row, scope_sizes)
+        n = assignment.size
+        uniq = np.unique(units * n + verts)
+        unit_u = uniq // n
+        vert_u = uniq % n
+        owners = assignment[vert_u]
+
+        # group by (unit, owner): fragments come out sorted exactly like the
+        # reference path's sorted(cluster)/unique(owner) double loop
+        order = np.lexsort((vert_u, owners, unit_u))
+        u_s = unit_u[order]
+        w_s = owners[order]
+        v_s = vert_u[order]
+        change = np.empty(u_s.size, dtype=bool)
+        change[0] = True
+        change[1:] = (u_s[1:] != u_s[:-1]) | (w_s[1:] != w_s[:-1])
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], u_s.size)
+
+        fragments: List[Fragment] = []
+        fragment_vertices: Dict[Tuple[int, int], np.ndarray] = {}
+        for s, e in zip(starts, ends):
+            unit = int(u_s[s])
+            w = int(w_s[s])
+            members = v_s[s:e]
+            fragments.append(
+                Fragment(
+                    unit=unit,
+                    origin_worker=w,
+                    union_size=int(members.size),
+                    weighted_size=int(max(weighted[unit, w], members.size)),
+                )
+            )
+            fragment_vertices[(unit, w)] = members
+        return self._finalize_snapshot(
+            assignment, num_units, fragments, fragment_vertices
+        )
+
+    def _build_snapshot_reference(
+        self, assignment: np.ndarray
+    ) -> Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]:
+        """Original set-based snapshot path (the equivalence oracle)."""
+        query_ids = self._nonempty_tracked_queries()
         scope_map = {qid: self.scopes.global_scope(qid) for qid in query_ids}
         overlaps = pairwise_intersections(scope_map)
         max_clusters = max(self.config.clusters_per_worker * self.k, 1)
@@ -229,7 +333,6 @@ class Controller:
 
         fragments: List[Fragment] = []
         fragment_vertices: Dict[Tuple[int, int], np.ndarray] = {}
-        scope_vertex_count = np.zeros(self.k, dtype=np.int64)
         for unit, scope in sorted(cluster_scopes.items()):
             vertices = np.fromiter(scope, dtype=np.int64, count=len(scope))
             owners = assignment[vertices]
@@ -251,8 +354,20 @@ class Controller:
                     )
                 )
                 fragment_vertices[(unit, int(w))] = members
-                scope_vertex_count[int(w)] += members.size
+        return self._finalize_snapshot(
+            assignment, num_units, fragments, fragment_vertices
+        )
 
+    def _finalize_snapshot(
+        self,
+        assignment: np.ndarray,
+        num_units: int,
+        fragments: List[Fragment],
+        fragment_vertices: Dict[Tuple[int, int], np.ndarray],
+    ) -> Tuple[QcutState, Dict[Tuple[int, int], np.ndarray]]:
+        scope_vertex_count = np.zeros(self.k, dtype=np.int64)
+        for (_unit, w), members in fragment_vertices.items():
+            scope_vertex_count[w] += members.size
         totals = np.bincount(assignment, minlength=self.k).astype(np.float64)
         base = np.maximum(totals - scope_vertex_count, 0.0)
         state = QcutState(

@@ -12,34 +12,63 @@ Two granularities:
 Both are defined on raw ``(scopes, assignment)`` inputs so they can score
 real partitionings in tests and benchmarks; the incremental ILS-internal
 version lives on :class:`repro.core.state.QcutState`.
+
+The per-scope bincount lives in :func:`repro.core.scopes.scope_worker_counts`
+(one shared copy for this module and both scope stores).  The ``*_from_sizes``
+variants score a precomputed query × worker local-size matrix — the output of
+:meth:`repro.core.scopes.ScopeStore.local_size_matrix` — so the whole metric
+is two numpy reductions instead of a per-query Python loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Set
 
 import numpy as np
 
-__all__ = ["query_cut", "query_cut_excess", "assignment_cost"]
+from repro.core.scopes import scope_worker_counts
+
+__all__ = [
+    "query_cut",
+    "query_cut_excess",
+    "assignment_cost",
+    "query_cut_from_sizes",
+    "query_cut_excess_from_sizes",
+    "assignment_cost_from_sizes",
+]
 
 
-def _scope_worker_counts(
-    scope: Set[int], assignment: np.ndarray, k: int
-) -> np.ndarray:
-    if not scope:
-        return np.zeros(k, dtype=np.int64)
-    vertices = np.fromiter(scope, dtype=np.int64, count=len(scope))
-    counts = np.bincount(assignment[vertices], minlength=k)
-    return counts[:k]
+# ----------------------------------------------------------------------
+# matrix forms (rows = queries, columns = workers)
+# ----------------------------------------------------------------------
+def query_cut_from_sizes(sizes: np.ndarray) -> int:
+    """§2 metric from a ``(Q, k)`` local-size matrix."""
+    return int(np.count_nonzero(sizes))
 
 
+def query_cut_excess_from_sizes(sizes: np.ndarray) -> int:
+    """Query-cut excess from a ``(Q, k)`` local-size matrix."""
+    nonzero = np.count_nonzero(sizes, axis=1)
+    return int(nonzero.sum() - np.count_nonzero(nonzero))
+
+
+def assignment_cost_from_sizes(sizes: np.ndarray) -> float:
+    """§3.2.2 ILS cost from a ``(Q, k)`` local-size matrix."""
+    if sizes.size == 0:
+        return 0.0
+    return float((sizes.sum(axis=1) - sizes.max(axis=1)).sum())
+
+
+# ----------------------------------------------------------------------
+# reference forms on raw (scopes, assignment) inputs
+# ----------------------------------------------------------------------
 def query_cut(
     scopes: Dict[int, Set[int]], assignment: np.ndarray, k: int
 ) -> int:
     """§2 metric: ``sum_q |{w : LS(q, w) != {}}|``."""
     total = 0
     for scope in scopes.values():
-        counts = _scope_worker_counts(scope, assignment, k)
+        counts = scope_worker_counts(scope, assignment, k)
         total += int(np.count_nonzero(counts))
     return total
 
@@ -53,7 +82,7 @@ def query_cut_excess(
     """
     total = 0
     for scope in scopes.values():
-        counts = _scope_worker_counts(scope, assignment, k)
+        counts = scope_worker_counts(scope, assignment, k)
         nonzero = int(np.count_nonzero(counts))
         if nonzero:
             total += nonzero - 1
@@ -72,7 +101,7 @@ def assignment_cost(
     """
     total = 0.0
     for scope in scopes.values():
-        counts = _scope_worker_counts(scope, assignment, k)
+        counts = scope_worker_counts(scope, assignment, k)
         if counts.sum() == 0:
             continue
         total += float(counts.sum() - counts.max())

@@ -11,8 +11,9 @@ triggers repartitioning when its average drops below the threshold Φ.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["QueryStats", "QueryMonitor"]
 
@@ -27,6 +28,8 @@ class QueryStats:
     iterations: int = 0
     local_iterations: int = 0
     finished: bool = False
+    #: monotonic insertion counter — deterministic eviction tie-break
+    seq: int = 0
 
     @property
     def locality(self) -> float:
@@ -47,30 +50,70 @@ class QueryMonitor:
         self.window = window
         self.max_queries = max_queries
         self._stats: Dict[int, QueryStats] = {}
+        self._seq = 0
+        #: lazy min-heap of ``(last_activity, seq, query_id)`` over finished
+        #: entries; stale items (evicted, restarted, or re-activated queries)
+        #: are detected by seq/timestamp mismatch and dropped on pop
+        self._finished_heap: List[Tuple[float, int, int]] = []
 
     # ------------------------------------------------------------------
-    def record_start(self, query_id: int, now: float) -> None:
-        self._stats[query_id] = QueryStats(
-            query_id=query_id, first_seen=now, last_activity=now
+    def _new_stats(self, query_id: int, now: float) -> QueryStats:
+        self._seq += 1
+        return QueryStats(
+            query_id=query_id, first_seen=now, last_activity=now, seq=self._seq
         )
-        self._enforce_cap()
 
-    def record_iteration(self, query_id: int, involved_workers: int, now: float) -> None:
+    def record_start(self, query_id: int, now: float) -> List[int]:
+        """Track a new query; returns ids evicted to honour the cap."""
+        self._stats[query_id] = self._new_stats(query_id, now)
+        return self._enforce_cap()
+
+    def record_iteration(
+        self, query_id: int, involved_workers: int, now: float
+    ) -> List[int]:
+        """Digest one iteration report; returns ids evicted to honour the cap."""
+        evicted: List[int] = []
         stats = self._stats.get(query_id)
         if stats is None:
-            stats = QueryStats(query_id=query_id, first_seen=now, last_activity=now)
+            stats = self._new_stats(query_id, now)
             self._stats[query_id] = stats
-            self._enforce_cap()
+            evicted = self._enforce_cap()
         stats.iterations += 1
         if involved_workers <= 1:
             stats.local_iterations += 1
         stats.last_activity = now
+        if stats.finished:
+            # keep the heap entry in sync with the bumped activity time
+            heapq.heappush(
+                self._finished_heap, (stats.last_activity, stats.seq, query_id)
+            )
+        return evicted
 
     def record_finish(self, query_id: int, now: float) -> None:
         stats = self._stats.get(query_id)
         if stats is not None:
             stats.finished = True
             stats.last_activity = now
+            heapq.heappush(
+                self._finished_heap, (stats.last_activity, stats.seq, query_id)
+            )
+
+    def _compact_heap(self) -> None:
+        """Rebuild the finished-heap from live entries when stale items
+        (window-evicted or restarted queries) dominate it.
+
+        Called from :meth:`evict_stale` — under window-based eviction the
+        cap is rarely hit, so stale heap tuples would otherwise accumulate
+        for the lifetime of the process.
+        """
+        if len(self._finished_heap) <= max(64, 2 * len(self._stats)):
+            return
+        self._finished_heap = [
+            (s.last_activity, s.seq, s.query_id)
+            for s in self._stats.values()
+            if s.finished
+        ]
+        heapq.heapify(self._finished_heap)
 
     # ------------------------------------------------------------------
     def evict_stale(self, now: float) -> List[int]:
@@ -83,24 +126,46 @@ class QueryMonitor:
         ]
         for qid in stale:
             del self._stats[qid]
+        self._compact_heap()
         return stale
 
-    def _enforce_cap(self) -> None:
-        """Bound to ``max_queries`` by evicting the oldest finished entries."""
-        if len(self._stats) <= self.max_queries:
-            return
-        removable = sorted(
-            (s for s in self._stats.values() if s.finished),
-            key=lambda s: s.last_activity,
-        )
-        excess = len(self._stats) - self.max_queries
-        for s in removable[:excess]:
-            del self._stats[s.query_id]
-        # if still above cap (all running), evict oldest regardless
-        if len(self._stats) > self.max_queries:
-            oldest = sorted(self._stats.values(), key=lambda s: s.last_activity)
-            for s in oldest[: len(self._stats) - self.max_queries]:
-                del self._stats[s.query_id]
+    def _enforce_cap(self) -> List[int]:
+        """Bound to ``max_queries`` by evicting the oldest finished entries.
+
+        One heap pop per eviction (amortised ``O(log n)``) instead of the
+        former two full sorts of the table per over-cap insert; only when no
+        finished query exists does it fall back to a single linear scan for
+        the oldest running entry.  Returns the evicted ids so the caller can
+        drop companion state (the controller's scope store).
+        """
+        evicted: List[int] = []
+        while len(self._stats) > self.max_queries:
+            popped = self._pop_oldest_finished()
+            if popped is None:
+                # all running: evict the oldest regardless (one min pass)
+                victim = min(
+                    self._stats.values(), key=lambda s: (s.last_activity, s.seq)
+                )
+                popped = victim.query_id
+                del self._stats[popped]
+            evicted.append(popped)
+        return evicted
+
+    def _pop_oldest_finished(self) -> Optional[int]:
+        """Evict and return the finished query with the oldest activity."""
+        heap = self._finished_heap
+        while heap:
+            last_activity, seq, query_id = heapq.heappop(heap)
+            stats = self._stats.get(query_id)
+            if (
+                stats is not None
+                and stats.finished
+                and stats.seq == seq
+                and stats.last_activity == last_activity
+            ):
+                del self._stats[query_id]
+                return query_id
+        return None
 
     # ------------------------------------------------------------------
     def tracked_queries(self) -> List[int]:

@@ -109,6 +109,9 @@ class QcutState:
         self.placement: Dict[Tuple[int, int], int] = {}
         #: immutable snapshot masses by (unit, origin worker)
         self.fragment_sizes: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: immutable unit -> fragment keys index (saves apply_move a scan
+        #: over the whole placement table on every ILS move)
+        self.unit_keys: Dict[int, List[Tuple[int, int]]] = {}
         for frag in fragments:
             if not 0 <= frag.unit < num_units:
                 raise ControllerError(f"fragment references unknown unit {frag.unit}")
@@ -123,6 +126,7 @@ class QcutState:
                 raise ControllerError(f"duplicate fragment {key}")
             self.fragment_sizes[key] = (int(frag.union_size), int(frag.weighted_size))
             self.placement[key] = frag.origin_worker
+            self.unit_keys.setdefault(frag.unit, []).append(key)
             self.union[frag.unit, frag.origin_worker] += frag.union_size
             self.weighted[frag.unit, frag.origin_worker] += frag.weighted_size
 
@@ -204,8 +208,8 @@ class QcutState:
         self.union[unit, w_to] += xu
         self.weighted[unit, w_from] = 0.0
         self.weighted[unit, w_to] += xw
-        for key, where in self.placement.items():
-            if key[0] == unit and where == w_from:
+        for key in self.unit_keys.get(unit, ()):
+            if self.placement[key] == w_from:
                 self.placement[key] = w_to
         return Move(
             unit=unit, src=w_from, dst=w_to, union_size=int(xu), weighted_size=int(xw)
@@ -222,6 +226,7 @@ class QcutState:
         clone.union = self.union.copy()
         clone.placement = dict(self.placement)
         clone.fragment_sizes = self.fragment_sizes  # immutable by convention
+        clone.unit_keys = self.unit_keys  # immutable by convention
         return clone
 
     # ------------------------------------------------------------------

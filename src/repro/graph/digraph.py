@@ -77,6 +77,7 @@ class DiGraph:
         "_coords",
         "_tags",
         "_csr_view",
+        "_csr_in_view",
         "name",
     )
 
@@ -128,6 +129,7 @@ class DiGraph:
         self._tags = tags
 
         self._csr_view: Optional[CSRView] = None
+        self._csr_in_view: Optional[CSRView] = None
         self._rindptr, self._rindices, self._rweights = self._build_reverse()
 
     # ------------------------------------------------------------------
@@ -203,9 +205,23 @@ class DiGraph:
             self._csr_view = view
         return view
 
+    def csr_in(self) -> CSRView:
+        """Cached :class:`CSRView` of the in-adjacency (reverse CSR).
+
+        The batched streaming partitioners score a vertex's undirected
+        neighbourhood from one forward and one reverse CSR slice; like
+        :meth:`csr` the view is built on first use and cached.
+        """
+        view = self._csr_in_view
+        if view is None:
+            view = CSRView(self._rindptr, self._rindices, self._rweights)
+            self._csr_in_view = view
+        return view
+
     def _invalidate_csr(self) -> None:
-        """Drop the cached CSR view (call after mutating adjacency arrays)."""
+        """Drop the cached CSR views (call after mutating adjacency arrays)."""
         self._csr_view = None
+        self._csr_in_view = None
 
     def has_coords(self) -> bool:
         """Whether planar coordinates are attached."""

@@ -15,8 +15,49 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.graph.digraph import DiGraph
+from repro.util import concat_ranges
 
-__all__ = ["Partitioner", "validate_partitioning"]
+__all__ = ["Partitioner", "validate_partitioning", "iter_neighbor_chunks"]
+
+
+def _gather_ranges(
+    src: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    dst: np.ndarray,
+    dst_starts: np.ndarray,
+) -> None:
+    """Copy ``src[starts[i] : starts[i]+counts[i]]`` into ``dst`` at
+    ``dst_starts[i]`` for all ``i`` without a Python loop."""
+    dst[concat_ranges(dst_starts, counts)] = src[concat_ranges(starts, counts)]
+
+
+def iter_neighbor_chunks(graph: DiGraph, order: np.ndarray, chunk_size: int = 2048):
+    """Stream ``order`` in chunks with pre-gathered undirected neighbourhoods.
+
+    For each chunk of stream vertices this yields ``(vertices, neighbors,
+    offsets)`` where ``neighbors[offsets[i] : offsets[i+1]]`` are the out-
+    plus in-neighbours of ``vertices[i]``, gathered from the cached
+    :meth:`~repro.graph.digraph.DiGraph.csr` / ``csr_in`` views in a handful
+    of vectorized copies per chunk.  The streaming partitioners then score
+    each vertex with a single ``bincount`` over its slice instead of a
+    per-neighbour Python loop.
+    """
+    out = graph.csr()
+    rin = graph.csr_in()
+    for lo in range(0, order.size, chunk_size):
+        vs = order[lo : lo + chunk_size]
+        out_counts = out.indptr[vs + 1] - out.indptr[vs]
+        in_counts = rin.indptr[vs + 1] - rin.indptr[vs]
+        degrees = out_counts + in_counts
+        offsets = np.zeros(vs.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        neighbors = np.empty(offsets[-1], dtype=np.int64)
+        _gather_ranges(out.indices, out.indptr[vs], out_counts, neighbors, offsets[:-1])
+        _gather_ranges(
+            rin.indices, rin.indptr[vs], in_counts, neighbors, offsets[:-1] + out_counts
+        )
+        yield vs, neighbors, offsets
 
 
 class Partitioner(abc.ABC):

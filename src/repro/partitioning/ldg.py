@@ -10,16 +10,23 @@ stream; vertex ``v`` goes to the partition maximising
 
 where ``C = (1 + slack) * n / k`` is the per-partition capacity.  Ties are
 broken toward the smaller partition, then the lower index (deterministic).
+
+The default :meth:`~LdgPartitioner.partition` is *batched*: the stream is
+processed in chunks whose undirected neighbourhoods are pre-gathered from
+the cached CSR views, and each vertex's neighbour-partition counts are one
+``bincount`` over its slice.  :meth:`~LdgPartitioner.partition_reference`
+keeps the original per-neighbour Python loop as the equivalence oracle —
+both paths produce identical assignments.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
-from repro.partitioning.base import Partitioner
+from repro.partitioning.base import Partitioner, iter_neighbor_chunks
 
 __all__ = ["LdgPartitioner"]
 
@@ -46,14 +53,14 @@ class LdgPartitioner(Partitioner):
         self.seed = int(seed)
 
     # ------------------------------------------------------------------
-    def _stream(self, graph: DiGraph) -> Iterable[int]:
+    def _stream(self, graph: DiGraph) -> np.ndarray:
         n = graph.num_vertices
         if self.order == "natural":
-            return range(n)
+            return np.arange(n, dtype=np.int64)
         if self.order == "random":
             rng = np.random.default_rng(self.seed)
-            return rng.permutation(n).tolist()
-        return self._bfs_order(graph)
+            return rng.permutation(n).astype(np.int64)
+        return np.asarray(self._bfs_order(graph), dtype=np.int64)
 
     def _bfs_order(self, graph: DiGraph) -> Iterable[int]:
         n = graph.num_vertices
@@ -83,6 +90,36 @@ class LdgPartitioner(Partitioner):
         sizes = np.zeros(k, dtype=np.int64)
         capacity = (1.0 + self.slack) * n / k if n else 1.0
 
+        for chunk, neighbors, offsets in iter_neighbor_chunks(
+            graph, self._stream(graph)
+        ):
+            for i in range(chunk.size):
+                owners = assignment[neighbors[offsets[i] : offsets[i + 1]]]
+                neighbor_counts = np.bincount(
+                    owners[owners >= 0], minlength=k
+                ).astype(np.float64)
+                penalty = 1.0 - sizes / capacity
+                scores = neighbor_counts * np.maximum(penalty, 0.0)
+                best = np.flatnonzero(scores == scores.max())
+                if best.size > 1:
+                    # tie-break toward the least loaded, then lowest index
+                    best = best[np.argsort(sizes[best], kind="stable")]
+                choice = int(best[0])
+                if sizes[choice] >= capacity:
+                    choice = int(np.argmin(sizes))
+                assignment[chunk[i]] = choice
+                sizes[choice] += 1
+        return assignment
+
+    # ------------------------------------------------------------------
+    def partition_reference(self, graph: DiGraph, k: int) -> np.ndarray:
+        """Original per-neighbour scoring loop (equivalence oracle)."""
+        self._check_k(graph, k)
+        n = graph.num_vertices
+        assignment = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(k, dtype=np.int64)
+        capacity = (1.0 + self.slack) * n / k if n else 1.0
+
         for v in self._stream(graph):
             neighbor_counts = np.zeros(k, dtype=np.float64)
             for u in graph.out_neighbors(v):
@@ -97,7 +134,6 @@ class LdgPartitioner(Partitioner):
             scores = neighbor_counts * np.maximum(penalty, 0.0)
             best = np.flatnonzero(scores == scores.max())
             if best.size > 1:
-                # tie-break toward the least loaded, then lowest index
                 best = best[np.argsort(sizes[best], kind="stable")]
             choice = int(best[0])
             if sizes[choice] >= capacity:

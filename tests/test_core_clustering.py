@@ -83,3 +83,32 @@ class TestClusterQueries:
         overlaps = {(i, i + 1): 2 for i in range(5)}
         labels = cluster_queries(ids, overlaps, 1, seed=0)
         assert len(set(labels.values())) == 1
+
+    def test_overlap_dict_order_irrelevant(self):
+        """Contraction depends on overlap *contents*, not dict insertion order."""
+        ids = list(range(10))
+        items = [((i, j), (i * j) % 4 + 1) for i in ids for j in ids if i < j]
+        forward = cluster_queries(ids, dict(items), 4, seed=9)
+        backward = cluster_queries(ids, dict(reversed(items)), 4, seed=9)
+        assert forward == backward
+
+    def test_singleton_fallback_merges_smallest_first(self):
+        """Pairs of smallest clusters merge: 10 singletons -> 2+4+4."""
+        labels = cluster_queries(list(range(10)), {}, 3, seed=2)
+        from collections import Counter
+
+        sizes = sorted(Counter(labels.values()).values())
+        assert sizes == [2, 4, 4]
+
+    def test_large_disjoint_fallback_fast(self):
+        """The heap-based merge handles thousands of singletons promptly."""
+        import time
+
+        n = 5000
+        t0 = time.perf_counter()
+        labels = cluster_queries(list(range(n)), {}, 8, seed=0)
+        elapsed = time.perf_counter() - t0
+        assert len(set(labels.values())) == 8
+        assert set(labels.values()) == set(range(8))
+        # the former re-sort-per-union loop was quadratic (~minutes here)
+        assert elapsed < 5.0

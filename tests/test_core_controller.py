@@ -146,6 +146,63 @@ class TestEstimateImbalance:
         assert ctrl.estimate_imbalance(assignment) > 0.25
 
 
+def canonical_plan(plan):
+    """Order-insensitive MovePlan fingerprint."""
+    return (
+        plan.cost_before,
+        plan.cost_after,
+        sorted(
+            (m.src, m.dst, tuple(sorted(m.vertices.tolist()))) for m in plan.moves
+        ),
+    )
+
+
+class TestPlanningBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_move_plans(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k, num_queries = 400, 4, 12
+        assignment = rng.integers(0, k, size=n).astype(np.int64)
+        plans = {}
+        for backend in ("vectorized", "reference"):
+            ctrl = make_controller(planning_backend=backend, seed=5)
+            feeder = np.random.default_rng(seed + 50)
+            for qid in range(num_queries):
+                ctrl.on_query_started(qid, float(qid))
+                center = int(feeder.integers(0, n))
+                scope = (center + feeder.integers(0, 80, size=30)) % n
+                ctrl.on_iteration(qid, k, scope.tolist(), float(qid) + 0.5)
+            ctrl.begin_qcut(assignment, 100.0)
+            plans[backend] = ctrl.complete_qcut(101.0)
+        assert canonical_plan(plans["vectorized"]) == canonical_plan(
+            plans["reference"]
+        )
+
+    def test_estimate_imbalance_matches_reference(self):
+        assignment = np.zeros(32, dtype=np.int64)
+        assignment[8:] = np.arange(24) % 3 + 1
+        values = []
+        for backend in ("vectorized", "reference"):
+            ctrl = make_controller(planning_backend=backend)
+            for qid in range(3):
+                ctrl.on_query_started(qid, 0.0)
+                ctrl.on_iteration(qid, 1, list(range(qid, qid + 10)), 0.5)
+            values.append(ctrl.estimate_imbalance(assignment))
+        assert values[0] == pytest.approx(values[1])
+
+    def test_backend_selects_store_type(self):
+        from repro.core import QueryScopes, ScopeStore
+
+        assert isinstance(make_controller().scopes, ScopeStore)
+        assert isinstance(
+            make_controller(planning_backend="reference").scopes, QueryScopes
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ControllerError):
+            make_controller(planning_backend="bogus")
+
+
 class TestLifecycle:
     def test_finish_evicts_stale(self):
         ctrl = make_controller(mu=1.0)
@@ -161,3 +218,13 @@ class TestLifecycle:
     def test_worker_count_validation(self):
         with pytest.raises(ControllerError):
             Controller(0)
+
+    def test_cap_eviction_drops_scopes(self):
+        """Regression: cap-evicted queries must not leak scope arrays."""
+        ctrl = make_controller(max_tracked_queries=4)
+        for qid in range(50):
+            ctrl.on_query_started(qid, float(qid))
+            ctrl.on_iteration(qid, 1, [qid], float(qid) + 0.1)
+            ctrl.on_query_finished(qid, float(qid) + 0.2)
+        assert len(ctrl.monitor) == 4
+        assert set(ctrl.scopes.queries()) == set(ctrl.monitor.tracked_queries())

@@ -130,3 +130,76 @@ class TestQueryMonitor:
         m = QueryMonitor()
         m.record_iteration(7, 2, 1.0)
         assert m.stats(7).iterations == 1
+
+    def test_cap_large_scale_no_quadratic_blowup(self):
+        """Regression: 10k inserts against a large cap stay fast.
+
+        The former implementation ran two full sorts of the table per
+        over-cap insert (quadratic overall); the heap-based eviction keeps
+        this loop well under a second.
+        """
+        import time
+
+        cap = 5000
+        m = QueryMonitor(window=1e9, max_queries=cap)
+        t0 = time.perf_counter()
+        for qid in range(10_000):
+            m.record_start(qid, float(qid))
+            m.record_finish(qid, float(qid))
+        elapsed = time.perf_counter() - t0
+        assert len(m) == cap
+        # oldest finished entries were evicted first
+        assert m.tracked_queries() == list(range(5000, 10_000))
+        assert elapsed < 2.5
+
+    def test_cap_mixed_running_and_finished(self):
+        m = QueryMonitor(window=1e9, max_queries=3)
+        m.record_start(0, 0.0)  # stays running
+        for qid in (1, 2, 3):
+            m.record_start(qid, float(qid))
+            m.record_finish(qid, float(qid))
+        # start(3) pushed the table over cap: oldest finished (1) evicted,
+        # the running query 0 survives
+        assert m.tracked_queries() == [0, 2, 3]
+        m.record_start(4, 4.0)
+        assert m.tracked_queries() == [0, 3, 4]
+
+    def test_cap_restarted_query_not_evicted_via_stale_heap_entry(self):
+        """A restarted query's old finished record must not shadow it."""
+        m = QueryMonitor(window=1e9, max_queries=2)
+        m.record_start(0, 0.0)
+        m.record_finish(0, 0.0)
+        m.record_start(0, 10.0)  # restarted: running again
+        m.record_start(1, 11.0)
+        m.record_finish(1, 11.0)
+        m.record_start(2, 12.0)
+        # the only evictable finished entry is 1; the stale heap record for
+        # the restarted query 0 must be skipped
+        assert m.tracked_queries() == [0, 2]
+
+    def test_window_eviction_bounds_heap_size(self):
+        """Regression: stale heap entries are compacted by evict_stale.
+
+        With window eviction keeping the table below the cap, finished-heap
+        tuples were never popped and accumulated for the process lifetime.
+        """
+        m = QueryMonitor(window=1.0, max_queries=10_000)
+        for qid in range(5000):
+            now = float(qid)
+            m.record_start(qid, now)
+            m.record_finish(qid, now)
+            m.evict_stale(now)
+        assert len(m) <= 3
+        assert len(m._finished_heap) <= 64
+
+    def test_cap_reactivated_finished_query_uses_fresh_activity(self):
+        m = QueryMonitor(window=1e9, max_queries=2)
+        m.record_start(0, 0.0)
+        m.record_finish(0, 0.0)
+        m.record_start(1, 1.0)
+        m.record_finish(1, 1.0)
+        # late straggler iteration bumps query 0 past query 1
+        m.record_iteration(0, 1, 5.0)
+        m.record_start(2, 6.0)
+        # query 1 is now the oldest finished entry
+        assert m.tracked_queries() == [0, 2]

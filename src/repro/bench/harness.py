@@ -12,7 +12,7 @@ experiment *shapes* (who wins, crossovers) are preserved.  Controller timing
 parameters are scaled with the graphs: our road networks are ~100x smaller
 than the OSM extracts, so virtual-time constants (monitoring window μ,
 Q-cut budget) shrink accordingly — the mapping is documented in
-EXPERIMENTS.md.
+``docs/experiments.md``, alongside the scheduler/arrival knobs.
 """
 
 from __future__ import annotations
@@ -132,7 +132,15 @@ def default_controller_config(**overrides) -> ControllerConfig:
 
 @dataclass(frozen=True)
 class Scenario:
-    """One experiment arm."""
+    """One experiment arm.
+
+    ``scheduler`` selects the admission policy (``"fifo"`` — the
+    historical order — ``"locality"``, ``"shortest_scope"``,
+    ``"phase_round_robin"``); ``arrival``/``arrival_rate`` select the
+    arrival process of the workload phases (``"batch"`` — everything at
+    t=0, the paper's setup — ``"poisson"`` or ``"burst"``).  The
+    ``"mixed"`` workload blends all seven query programs.
+    """
 
     name: str
     graph_preset: str = "bw"
@@ -145,6 +153,9 @@ class Scenario:
     main_queries: int = 256
     disturbance_queries: int = 0
     max_parallel: int = 16
+    scheduler: str = "fifo"
+    arrival: str = "batch"
+    arrival_rate: float = 0.0
     seed: int = 0
     graph_scale: Optional[float] = None
     workload_bucket: float = 0.05
@@ -231,6 +242,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         config=EngineConfig(
             sync_mode=scenario.sync_mode,
             max_parallel_queries=scenario.max_parallel,
+            scheduler=scenario.scheduler,
             adaptive=scenario.adaptive,
         ),
         trace=trace,
@@ -241,9 +253,21 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         wl = generator.paper_sssp_workload(
             main_queries=scenario.main_queries,
             disturbance_queries=scenario.disturbance_queries,
+            arrival=scenario.arrival,
+            arrival_rate=scenario.arrival_rate,
         )
     elif scenario.workload == "poi":
-        wl = generator.paper_poi_workload(num_queries=scenario.main_queries)
+        wl = generator.paper_poi_workload(
+            num_queries=scenario.main_queries,
+            arrival=scenario.arrival,
+            arrival_rate=scenario.arrival_rate,
+        )
+    elif scenario.workload == "mixed":
+        wl = generator.mixed_kind_workload(
+            num_queries=scenario.main_queries,
+            arrival=scenario.arrival,
+            arrival_rate=scenario.arrival_rate,
+        )
     else:
         raise ReproError(f"unknown workload {scenario.workload!r}")
     wl.submit_all(engine)

@@ -4,6 +4,15 @@ from repro.engine.barriers import BarrierKind, SyncMode
 from repro.engine.engine import EngineConfig, QGraphEngine
 from repro.engine.kernels import ArrayMailbox, QueryKernel
 from repro.engine.query import Query, QueryRuntime
+from repro.engine.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    PhaseRoundRobinScheduler,
+    Scheduler,
+    ShortestScopeScheduler,
+    make_scheduler,
+    predicted_work,
+)
 from repro.engine.vertex_program import ComputeContext, VertexProgram
 from repro.engine.worker import IterationResult, SimWorker
 
@@ -12,6 +21,13 @@ __all__ = [
     "BarrierKind",
     "EngineConfig",
     "QGraphEngine",
+    "Scheduler",
+    "FifoScheduler",
+    "LocalityScheduler",
+    "ShortestScopeScheduler",
+    "PhaseRoundRobinScheduler",
+    "make_scheduler",
+    "predicted_work",
     "Query",
     "QueryRuntime",
     "VertexProgram",

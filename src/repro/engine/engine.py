@@ -23,15 +23,15 @@ Synchronization modes (see :mod:`repro.engine.barriers`):
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.controller import Controller, MovePlan
 from repro.engine.barriers import SyncMode
 from repro.engine.query import Query, QueryRuntime
+from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.vertex_program import reduce_aggregator
 from repro.engine.worker import SimWorker
 from repro.errors import EngineError
@@ -54,6 +54,11 @@ class EngineConfig:
     max_parallel_queries:
         Queries executing concurrently (the paper runs "batches of 16
         parallel queries"); further queries wait in an admission queue.
+    scheduler:
+        Admission policy for that queue — a policy name (``"fifo"``,
+        ``"locality"``, ``"shortest_scope"``, ``"phase_round_robin"``) or a
+        :class:`~repro.engine.scheduler.Scheduler` instance.  ``"fifo"``
+        is event-for-event identical to the historical deque.
     adaptive:
         Whether the controller's Q-cut adaptation loop is active.
     use_kernels:
@@ -69,6 +74,7 @@ class EngineConfig:
 
     sync_mode: SyncMode = SyncMode.HYBRID
     max_parallel_queries: int = 16
+    scheduler: Union[str, Scheduler] = "fifo"
     adaptive: bool = True
     use_kernels: bool = True
     vertex_state_bytes: int = 48
@@ -109,7 +115,10 @@ class QGraphEngine:
         #: every query id ever submitted (duplicate detection, including
         #: queries still waiting in the admission queue)
         self._submitted: Set[int] = set()
-        self.pending: deque = deque()
+        #: admission queue policy (holds arrived-but-not-started queries)
+        self.scheduler: Scheduler = make_scheduler(
+            self.config.scheduler, self.assignment
+        )
         self.running: Set[int] = set()
         #: per-query vertices activated since the last controller update
         self._activated: Dict[int, List[int]] = {}
@@ -145,12 +154,19 @@ class QGraphEngine:
         self.queue.schedule(arrival_time, "arrival", query=query)
 
     def run(self, until: Optional[float] = None) -> MetricsTrace:
-        """Process events until quiescence (or virtual time ``until``)."""
+        """Process events until quiescence (or virtual time ``until``).
+
+        The horizon is checked by *peeking*: an event past ``until`` stays
+        in the queue, so a later ``run()`` resumes exactly where this one
+        stopped (popping it would silently drop that event).
+        """
         while True:
+            if until is not None:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > until:
+                    break
             event = self.queue.pop()
             if event is None:
-                break
-            if until is not None and event.time > until:
                 break
             self._events_processed += 1
             if self._events_processed > self.config.max_events:
@@ -164,6 +180,11 @@ class QGraphEngine:
     @property
     def now(self) -> float:
         return self.queue.now
+
+    @property
+    def pending(self) -> List[Query]:
+        """Snapshot of queries waiting in the admission queue."""
+        return self.scheduler.pending_queries()
 
     def query_result(self, query_id: int):
         """Answer of a finished query."""
@@ -186,23 +207,24 @@ class QGraphEngine:
     # ------------------------------------------------------------------
     def _on_arrival(self, now: float, query: Query) -> None:
         if self.paused or len(self.running) >= self.config.max_parallel_queries:
-            self.pending.append(query)
+            self.scheduler.add(query)
             return
         self._start_query(query, now)
 
     def _admit_pending(self, now: float) -> None:
         while (
-            self.pending
+            self.scheduler
             and not self.paused
             and len(self.running) < self.config.max_parallel_queries
         ):
-            self._start_query(self.pending.popleft(), now)
+            self._start_query(self.scheduler.pop(), now)
 
     def _start_query(self, query: Query, now: float) -> None:
         qr = QueryRuntime(query, self.graph if self.config.use_kernels else None)
         self.runtimes[query.query_id] = qr
         self.running.add(query.query_id)
         self._activated[query.query_id] = []
+        self.scheduler.on_query_started(query)
         self.controller.on_query_started(query.query_id, now)
         self.trace.query_started(query.query_id, query.kind, now, query.phase)
 
@@ -507,6 +529,7 @@ class QGraphEngine:
         qr.finalize_state()
         qr.finished = True
         self.running.discard(query_id)
+        self.scheduler.on_query_finished(qr.query)
         self.trace.query_finished(query_id, now)
         self.controller.on_query_finished(query_id, now)
         self._admit_pending(now)
@@ -663,6 +686,9 @@ class QGraphEngine:
     def _on_global_start(self, now: float) -> None:
         self.paused = False
         self._stop_scheduled = False
+        # placement-aware admission policies re-bucket their pending queries
+        # against the post-repartition assignment before anything is admitted
+        self.scheduler.on_assignment_changed(self.assignment)
         held_res = list(dict.fromkeys(self._held_resolutions))
         self._held_resolutions.clear()
         held_tasks = list(dict.fromkeys(self._held_tasks))

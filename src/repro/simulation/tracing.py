@@ -136,6 +136,33 @@ class MetricsTrace:
             return float("nan")
         return float(np.mean([q.locality for q in finished]))
 
+    @staticmethod
+    def _windowed_means(
+        end_times: np.ndarray, values: np.ndarray, window: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean of ``values`` per completion-time window, empty windows
+        skipped.
+
+        One sort + :func:`np.searchsorted` bucketing instead of the former
+        per-window rescan of every finished query (O(windows × queries)),
+        with window edges computed as ``i * window`` (not accumulated with
+        ``start += window``, which drifts for long traces).
+        """
+        if end_times.size == 0:
+            return np.empty(0), np.empty(0)
+        order = np.argsort(end_times, kind="stable")
+        ends = end_times[order]
+        vals = values[order]
+        # windows [i*w, (i+1)*w) for i = 0 .. floor(t_end / w)
+        num_windows = int(np.floor(ends[-1] / window)) + 1
+        edges = np.arange(num_windows + 1, dtype=np.float64) * window
+        bounds = np.searchsorted(ends, edges, side="left")
+        counts = np.diff(bounds)
+        sums = np.concatenate(([0.0], np.cumsum(vals)))
+        keep = counts > 0
+        means = (sums[bounds[1:]] - sums[bounds[:-1]])[keep] / counts[keep]
+        return edges[1:][keep], means
+
     def latency_series(
         self, window: float, phase: Optional[str] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -144,46 +171,23 @@ class MetricsTrace:
         Returns ``(window_end_times, mean_latency_per_window)``; empty
         windows are skipped.
         """
-        finished = sorted(
-            (
-                q
-                for q in self.finished_queries()
-                if phase is None or q.phase == phase
-            ),
-            key=lambda q: q.end_time,
+        finished = [
+            q for q in self.finished_queries() if phase is None or q.phase == phase
+        ]
+        return self._windowed_means(
+            np.array([q.end_time for q in finished], dtype=np.float64),
+            np.array([q.latency for q in finished], dtype=np.float64),
+            window,
         )
-        if not finished:
-            return np.empty(0), np.empty(0)
-        t_end = finished[-1].end_time
-        times, values = [], []
-        start = 0.0
-        while start <= t_end:
-            bucket = [
-                q.latency for q in finished if start <= q.end_time < start + window
-            ]
-            if bucket:
-                times.append(start + window)
-                values.append(float(np.mean(bucket)))
-            start += window
-        return np.asarray(times), np.asarray(values)
 
     def locality_series(self, window: float) -> Tuple[np.ndarray, np.ndarray]:
         """Windowed average locality over completion time (Fig. 6f series)."""
-        finished = sorted(self.finished_queries(), key=lambda q: q.end_time)
-        if not finished:
-            return np.empty(0), np.empty(0)
-        t_end = finished[-1].end_time
-        times, values = [], []
-        start = 0.0
-        while start <= t_end:
-            bucket = [
-                q.locality for q in finished if start <= q.end_time < start + window
-            ]
-            if bucket:
-                times.append(start + window)
-                values.append(float(np.mean(bucket)))
-            start += window
-        return np.asarray(times), np.asarray(values)
+        finished = self.finished_queries()
+        return self._windowed_means(
+            np.array([q.end_time for q in finished], dtype=np.float64),
+            np.array([q.locality for q in finished], dtype=np.float64),
+            window,
+        )
 
     def workload_imbalance_series(self, num_workers: int) -> Tuple[np.ndarray, np.ndarray]:
         """Per-bucket workload imbalance (Fig. 6e).

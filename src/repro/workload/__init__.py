@@ -1,6 +1,19 @@
 """Hotspot query workload generation (§4.1 methodology)."""
 
-from repro.workload.generator import PhaseSpec, QueryTrace, WorkloadGenerator
+from repro.workload.generator import (
+    QUERY_KINDS,
+    PhaseSpec,
+    QueryTrace,
+    WorkloadGenerator,
+    namespaced_id_offset,
+)
 from repro.workload.hotspots import HotspotSampler
 
-__all__ = ["PhaseSpec", "QueryTrace", "WorkloadGenerator", "HotspotSampler"]
+__all__ = [
+    "PhaseSpec",
+    "QueryTrace",
+    "WorkloadGenerator",
+    "HotspotSampler",
+    "QUERY_KINDS",
+    "namespaced_id_offset",
+]

@@ -1,28 +1,90 @@
 """Query workload generation.
 
 Turns the hotspot sampler into concrete :class:`~repro.engine.query.Query`
-lists organised in *phases*.  Each phase fixes the query type and the
-intra/inter-urban mix; the Figure 5 experiments use two phases (2048
-intra-urban queries followed by a disturbance of 496 inter-urban ones).
+lists organised in *phases*.  Each phase fixes the query-kind mix, the
+intra/inter-urban blend and the arrival process; the Figure 5 experiments
+use two phases (2048 intra-urban queries followed by a disturbance of 496
+inter-urban ones).
 
-All queries arrive at time 0 — the engine's admission control runs them in
-"batches of 16 parallel queries" exactly like §4.2 — but per-phase arrival
-offsets are supported for arrival-process experiments.
+A phase covers one query kind (any of the seven programs — ``sssp``,
+``poi``, ``bfs``, ``khop``, ``reachability``, ``pagerank_local``,
+``wcc_local``) or a weighted *mix* of kinds, and its queries arrive either
+all at once (``batch`` — the paper's §4.2 setup, admission control then
+runs them in "batches of 16 parallel queries"), as a Poisson process, or
+in periodic bursts.
+
+Multiple generators compose: give each a distinct ``id_offset`` (or use
+:func:`namespaced_id_offset`) so their query ids never collide when their
+traces feed one engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.engine.query import Query
 from repro.errors import WorkloadError
 from repro.graph.road_network import RoadNetwork
+from repro.queries.bfs import BfsProgram
+from repro.queries.khop import KHopProgram
+from repro.queries.pagerank_local import LocalPageRankProgram
 from repro.queries.poi import PoiProgram
+from repro.queries.reachability import ReachabilityProgram
 from repro.queries.sssp import SsspProgram
+from repro.queries.wcc_local import LocalWccProgram
 from repro.workload.hotspots import HotspotSampler
 
-__all__ = ["PhaseSpec", "WorkloadGenerator", "QueryTrace"]
+__all__ = [
+    "PhaseSpec",
+    "WorkloadGenerator",
+    "QueryTrace",
+    "QUERY_KINDS",
+    "namespaced_id_offset",
+]
+
+#: canonical phase-spec kind names, mapped to the program's ``kind`` tag
+QUERY_KINDS: Dict[str, str] = {
+    "sssp": "sssp",
+    "poi": "poi",
+    "bfs": "bfs",
+    "khop": "khop",
+    "reachability": "reach",
+    "pagerank_local": "ppr",
+    "wcc_local": "wcc-local",
+}
+
+#: program-tag spellings accepted as aliases in :class:`PhaseSpec`
+_KIND_ALIASES: Dict[str, str] = {
+    "reach": "reachability",
+    "ppr": "pagerank_local",
+    "wcc-local": "wcc_local",
+}
+
+_ARRIVALS = ("batch", "poisson", "burst")
+
+#: id-namespace stride: generator ``namespace`` *n* numbers its queries from
+#: ``n * 1_000_000`` (far above any realistic per-generator query count)
+ID_NAMESPACE_STRIDE = 1_000_000
+
+
+def namespaced_id_offset(namespace: int) -> int:
+    """The ``id_offset`` reserving query-id namespace ``namespace``."""
+    if namespace < 0:
+        raise WorkloadError("namespace must be non-negative")
+    return namespace * ID_NAMESPACE_STRIDE
+
+
+def _normalize_kind(kind: str) -> str:
+    kind = _KIND_ALIASES.get(kind, kind)
+    if kind != "mixed" and kind not in QUERY_KINDS:
+        raise WorkloadError(
+            f"unknown query kind {kind!r}; pick one of "
+            f"{sorted(QUERY_KINDS)} or 'mixed'"
+        )
+    return kind
 
 
 @dataclass(frozen=True)
@@ -34,27 +96,77 @@ class PhaseSpec:
     num_queries:
         Queries generated in this phase.
     kind:
-        ``"sssp"`` or ``"poi"``.
+        One of :data:`QUERY_KINDS` (program-tag aliases like ``"reach"``
+        accepted), or ``"mixed"`` to draw each query's kind from ``mix``.
+    mix:
+        ``((kind, weight), ...)`` pairs for ``kind="mixed"``; weights are
+        normalized internally.  Ignored for single-kind phases.
     intra_probability:
-        For SSSP: probability that a query is intra-urban (same city).
-        The Fig. 5 main phase uses 1.0; the disturbance phase 0.0.
+        For two-endpoint kinds (sssp/bfs/reachability): probability that a
+        query is intra-urban (same city).  The Fig. 5 main phase uses 1.0;
+        the disturbance phase 0.0.
     label:
         Phase label carried into the metric trace (e.g. ``"intra"``).
     arrival_offset:
-        Virtual arrival time of this phase's queries.
+        Virtual time at which this phase's arrival process begins.
+    arrival:
+        ``"batch"`` (everything at ``arrival_offset``), ``"poisson"``
+        (exponential inter-arrivals at ``arrival_rate``), or ``"burst"``
+        (groups of ``burst_size`` queries every ``burst_gap`` seconds).
+    arrival_rate:
+        Mean arrivals per virtual second for ``poisson``; also derives
+        ``burst_gap`` (= ``burst_size / arrival_rate``) when that is 0.
+    burst_size / burst_gap:
+        Burst arrival shape (``burst`` only).
+    depth:
+        Hop budget for bounded kinds — ``k`` for khop, ``max_hops`` for
+        wcc_local, ``max_depth`` for bfs (``None`` leaves bfs unbounded;
+        khop/wcc_local default to 2).
     """
 
     num_queries: int
     kind: str = "sssp"
+    mix: Tuple[Tuple[str, float], ...] = ()
     intra_probability: float = 1.0
     label: str = "default"
     arrival_offset: float = 0.0
+    arrival: str = "batch"
+    arrival_rate: float = 0.0
+    burst_size: int = 16
+    burst_gap: float = 0.0
+    depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_queries < 0:
             raise WorkloadError("num_queries must be non-negative")
-        if self.kind not in ("sssp", "poi"):
-            raise WorkloadError(f"unknown query kind {self.kind!r}")
+        object.__setattr__(self, "kind", _normalize_kind(self.kind))
+        if self.kind == "mixed":
+            if not self.mix:
+                raise WorkloadError("kind='mixed' requires a non-empty mix")
+            normalized = tuple(
+                (_normalize_kind(k), float(w)) for k, w in self.mix
+            )
+            if any(w <= 0 for _k, w in normalized):
+                raise WorkloadError("mix weights must be positive")
+            if any(k == "mixed" for k, _w in normalized):
+                raise WorkloadError("mix entries must be concrete kinds")
+            object.__setattr__(self, "mix", normalized)
+        if self.arrival not in _ARRIVALS:
+            raise WorkloadError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"pick one of {_ARRIVALS}"
+            )
+        if self.arrival == "poisson" and self.arrival_rate <= 0:
+            raise WorkloadError("poisson arrivals need arrival_rate > 0")
+        if self.arrival == "burst":
+            if self.burst_size <= 0:
+                raise WorkloadError("burst arrivals need burst_size > 0")
+            if self.burst_gap <= 0 and self.arrival_rate <= 0:
+                raise WorkloadError(
+                    "burst arrivals need burst_gap > 0 or arrival_rate > 0"
+                )
+        if self.depth is not None and self.depth < 0:
+            raise WorkloadError("depth must be non-negative")
 
 
 @dataclass
@@ -68,6 +180,13 @@ class QueryTrace:
         for query, arrival in self.entries:
             engine.submit(query, arrival)
 
+    def merge(self, other: "QueryTrace") -> "QueryTrace":
+        """Combine two traces (e.g. from different generators) in
+        arrival-time order; ids must already be disjoint (use distinct
+        ``id_offset`` namespaces)."""
+        merged = sorted(self.entries + other.entries, key=lambda e: e[1])
+        return QueryTrace(entries=merged)
+
     @property
     def num_queries(self) -> int:
         return len(self.entries)
@@ -77,12 +196,28 @@ class QueryTrace:
 
 
 class WorkloadGenerator:
-    """Deterministic hotspot workload builder over a road network."""
+    """Deterministic hotspot workload builder over a road network.
 
-    def __init__(self, road_network: RoadNetwork, seed: int = 0) -> None:
+    ``id_offset`` namespaces the generated query ids so several generators
+    (e.g. one per tenant or per workload stream) can feed the same engine
+    without duplicate-id collisions; :func:`namespaced_id_offset` reserves
+    well-separated blocks.
+    """
+
+    def __init__(
+        self,
+        road_network: RoadNetwork,
+        seed: int = 0,
+        id_offset: int = 0,
+    ) -> None:
+        if id_offset < 0:
+            raise WorkloadError("id_offset must be non-negative")
         self.rn = road_network
         self.sampler = HotspotSampler(road_network, seed=seed)
-        self._next_id = 0
+        #: separate stream for kind-mix and arrival draws so extending a
+        #: phase spec never perturbs the hotspot endpoint sequence
+        self._rng = np.random.default_rng([seed, 0x51C])
+        self._next_id = id_offset
 
     def _fresh_id(self) -> int:
         qid = self._next_id
@@ -90,33 +225,76 @@ class WorkloadGenerator:
         return qid
 
     # ------------------------------------------------------------------
+    def _build_query(self, qid: int, kind: str, phase: PhaseSpec) -> Query:
+        """Materialise one query of canonical ``kind`` for ``phase``."""
+        if kind == "sssp":
+            start, end = self.sampler.sample_sssp_endpoints(phase.intra_probability)
+            program = SsspProgram(start=start, target=end)
+        elif kind == "poi":
+            start = self.sampler.sample_poi_start()
+            program = PoiProgram(start=start)
+        elif kind == "bfs":
+            start, end = self.sampler.sample_sssp_endpoints(phase.intra_probability)
+            program = BfsProgram(start=start, target=end, max_depth=phase.depth)
+        elif kind == "khop":
+            start = self.sampler.sample_hotspot_vertex()
+            program = KHopProgram(center=start, k=phase.depth if phase.depth is not None else 2)
+        elif kind == "reachability":
+            start, end = self.sampler.sample_sssp_endpoints(phase.intra_probability)
+            program = ReachabilityProgram(start=start, target=end)
+        elif kind == "pagerank_local":
+            start = self.sampler.sample_hotspot_vertex()
+            program = LocalPageRankProgram(seed=start)
+        elif kind == "wcc_local":
+            start = self.sampler.sample_hotspot_vertex()
+            program = LocalWccProgram(
+                max_hops=phase.depth if phase.depth is not None else 2
+            )
+        else:  # pragma: no cover - PhaseSpec validation prevents this
+            raise WorkloadError(f"unknown query kind {kind!r}")
+        return Query(
+            query_id=qid,
+            program=program,
+            initial_vertices=(start,),
+            phase=phase.label,
+        )
+
+    def _phase_kinds(self, phase: PhaseSpec) -> List[str]:
+        """The canonical kind of each query in the phase (mix resolved)."""
+        if phase.kind != "mixed":
+            return [phase.kind] * phase.num_queries
+        kinds = [k for k, _w in phase.mix]
+        weights = np.array([w for _k, w in phase.mix], dtype=np.float64)
+        weights /= weights.sum()
+        draws = self._rng.choice(len(kinds), size=phase.num_queries, p=weights)
+        return [kinds[int(i)] for i in draws]
+
+    def _arrival_times(self, phase: PhaseSpec) -> np.ndarray:
+        """Arrival instant of each query in the phase (non-decreasing)."""
+        n = phase.num_queries
+        t0 = phase.arrival_offset
+        if phase.arrival == "batch" or n == 0:
+            return np.full(n, t0)
+        if phase.arrival == "poisson":
+            gaps = self._rng.exponential(1.0 / phase.arrival_rate, size=n)
+            return t0 + np.cumsum(gaps)
+        # burst: groups of burst_size every burst_gap seconds
+        gap = phase.burst_gap
+        if gap <= 0:
+            gap = phase.burst_size / phase.arrival_rate
+        return t0 + (np.arange(n) // phase.burst_size) * gap
+
+    # ------------------------------------------------------------------
     def generate(self, phases: List[PhaseSpec]) -> QueryTrace:
         """Materialise a multi-phase workload trace."""
         trace = QueryTrace()
         for phase in phases:
-            for _ in range(phase.num_queries):
-                qid = self._fresh_id()
-                if phase.kind == "sssp":
-                    start, end = self.sampler.sample_sssp_endpoints(
-                        phase.intra_probability
-                    )
-                    program = SsspProgram(start=start, target=end)
-                    query = Query(
-                        query_id=qid,
-                        program=program,
-                        initial_vertices=(start,),
-                        phase=phase.label,
-                    )
-                else:
-                    start = self.sampler.sample_poi_start()
-                    program = PoiProgram(start=start)
-                    query = Query(
-                        query_id=qid,
-                        program=program,
-                        initial_vertices=(start,),
-                        phase=phase.label,
-                    )
-                trace.entries.append((query, phase.arrival_offset))
+            kinds = self._phase_kinds(phase)
+            arrivals = self._arrival_times(phase)
+            for kind, arrival in zip(kinds, arrivals):
+                trace.entries.append(
+                    (self._build_query(self._fresh_id(), kind, phase), float(arrival))
+                )
         return trace
 
     # ------------------------------------------------------------------
@@ -126,6 +304,8 @@ class WorkloadGenerator:
         self,
         main_queries: int = 2048,
         disturbance_queries: int = 496,
+        arrival: str = "batch",
+        arrival_rate: float = 0.0,
     ) -> QueryTrace:
         """§4.2: hotspot SSSP queries followed by an inter-urban disturbance."""
         return self.generate(
@@ -135,18 +315,58 @@ class WorkloadGenerator:
                     kind="sssp",
                     intra_probability=1.0,
                     label="intra",
+                    arrival=arrival,
+                    arrival_rate=arrival_rate,
                 ),
                 PhaseSpec(
                     num_queries=disturbance_queries,
                     kind="sssp",
                     intra_probability=0.0,
                     label="inter",
+                    arrival=arrival,
+                    arrival_rate=arrival_rate,
                 ),
             ]
         )
 
-    def paper_poi_workload(self, num_queries: int = 2048) -> QueryTrace:
+    def paper_poi_workload(
+        self,
+        num_queries: int = 2048,
+        arrival: str = "batch",
+        arrival_rate: float = 0.0,
+    ) -> QueryTrace:
         """§4.2: POI query workload on hotspots."""
         return self.generate(
-            [PhaseSpec(num_queries=num_queries, kind="poi", label="poi")]
+            [
+                PhaseSpec(
+                    num_queries=num_queries,
+                    kind="poi",
+                    label="poi",
+                    arrival=arrival,
+                    arrival_rate=arrival_rate,
+                )
+            ]
+        )
+
+    def mixed_kind_workload(
+        self,
+        num_queries: int = 2048,
+        label: str = "mixed",
+        arrival: str = "batch",
+        arrival_rate: float = 0.0,
+        depth: int = 2,
+    ) -> QueryTrace:
+        """An even blend of all seven query programs on the hotspots."""
+        return self.generate(
+            [
+                PhaseSpec(
+                    num_queries=num_queries,
+                    kind="mixed",
+                    mix=tuple((k, 1.0) for k in sorted(QUERY_KINDS)),
+                    label=label,
+                    arrival=arrival,
+                    arrival_rate=arrival_rate,
+                    depth=depth,
+                )
+            ]
         )

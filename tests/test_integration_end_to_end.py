@@ -113,6 +113,32 @@ class TestHarness:
         )
         assert len(r.trace.finished_queries()) == 24
 
+    def test_mixed_workload_scenario_all_kinds_finish(self):
+        """All seven query programs blended in one adaptive run, admitted
+        shortest-predicted-work-first, arriving as a Poisson process."""
+        r = run_scenario(
+            Scenario(
+                name="mixed",
+                partitioner="domain",
+                workload="mixed",
+                adaptive=True,
+                graph_preset="bw",
+                graph_scale=0.4,
+                main_queries=56,
+                max_parallel=8,
+                scheduler="shortest_scope",
+                arrival="poisson",
+                arrival_rate=4000.0,
+                k=4,
+                seed=3,
+            )
+        )
+        finished = r.trace.finished_queries()
+        assert len(finished) == 56
+        assert {q.kind for q in finished} == {
+            "sssp", "poi", "bfs", "khop", "reach", "ppr", "wcc-local",
+        }
+
 
 class TestApiMessages:
     """Table 2 message constructors round-trip their payloads."""

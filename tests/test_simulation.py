@@ -211,3 +211,78 @@ class TestMetricsTrace:
             )
         )
         assert len(t.repartitions) == 1
+
+
+class TestWindowedSeriesEquivalence:
+    """The vectorized searchsorted bucketing must match the former
+    per-window rescan loop (which it replaced for being O(windows x
+    queries) and accumulating ``start += window`` float drift)."""
+
+    @staticmethod
+    def _reference_series(records, window, value_of, phase=None):
+        finished = sorted(
+            (q for q in records if phase is None or q.phase == phase),
+            key=lambda q: q.end_time,
+        )
+        if not finished:
+            return np.empty(0), np.empty(0)
+        t_end = finished[-1].end_time
+        times, values = [], []
+        start = 0.0
+        while start <= t_end:
+            bucket = [
+                value_of(q) for q in finished if start <= q.end_time < start + window
+            ]
+            if bucket:
+                times.append(start + window)
+                values.append(float(np.mean(bucket)))
+            start += window
+        return np.asarray(times), np.asarray(values)
+
+    def _random_trace(self, seed, num_queries=200):
+        rng = np.random.default_rng(seed)
+        t = MetricsTrace()
+        for qid in range(num_queries):
+            start = float(rng.uniform(0, 50))
+            t.query_started(qid, "sssp", start, phase="a" if qid % 3 else "b")
+            for _ in range(int(rng.integers(1, 6))):
+                t.iteration_executed(qid, int(rng.integers(1, 4)))
+            t.query_finished(qid, start + float(rng.uniform(0.01, 10)))
+        return t
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("window", [0.7, 2.5, 13.0])
+    def test_latency_series_matches_reference(self, seed, window):
+        t = self._random_trace(seed)
+        for phase in (None, "a", "b"):
+            times, values = t.latency_series(window, phase=phase)
+            ref_t, ref_v = self._reference_series(
+                t.finished_queries(), window, lambda q: q.latency, phase
+            )
+            np.testing.assert_allclose(times, ref_t, rtol=0, atol=1e-9)
+            np.testing.assert_allclose(values, ref_v, rtol=1e-12)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_locality_series_matches_reference(self, seed):
+        t = self._random_trace(seed)
+        times, values = t.locality_series(1.3)
+        ref_t, ref_v = self._reference_series(
+            t.finished_queries(), 1.3, lambda q: q.locality
+        )
+        np.testing.assert_allclose(times, ref_t, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(values, ref_v, rtol=1e-12)
+
+    def test_end_time_on_window_edge(self):
+        t = MetricsTrace()
+        for qid, end in enumerate([0.0, 2.5, 5.0]):
+            t.query_started(qid, "sssp", 0.0, "p")
+            t.query_finished(qid, end)
+        times, values = t.latency_series(2.5)
+        # ends exactly on edges fall into the *following* window
+        np.testing.assert_allclose(times, [2.5, 5.0, 7.5])
+        np.testing.assert_allclose(values, [0.0, 2.5, 5.0])
+
+    def test_empty_trace(self):
+        t = MetricsTrace()
+        times, values = t.latency_series(1.0)
+        assert times.size == 0 and values.size == 0

@@ -5,7 +5,14 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.graph import generate_road_network
-from repro.workload import HotspotSampler, PhaseSpec, QueryTrace, WorkloadGenerator
+from repro.workload import (
+    QUERY_KINDS,
+    HotspotSampler,
+    PhaseSpec,
+    QueryTrace,
+    WorkloadGenerator,
+    namespaced_id_offset,
+)
 
 
 @pytest.fixture(scope="module")
@@ -129,3 +136,182 @@ class TestWorkloadGenerator:
         for (qa, _), (qb, _) in zip(a.entries, b.entries):
             assert qa.initial_vertices == qb.initial_vertices
             assert qa.program.target == qb.program.target
+
+
+class TestMixedKindsAndArrivals:
+    def test_all_seven_kinds_generate(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        phases = [
+            PhaseSpec(num_queries=3, kind=k, label=k, depth=2)
+            for k in sorted(QUERY_KINDS)
+        ]
+        trace = gen.generate(phases)
+        assert trace.num_queries == 21
+        kinds = {q.kind for q in trace.queries()}
+        assert kinds == set(QUERY_KINDS.values())
+
+    def test_kind_aliases_accepted(self):
+        spec = PhaseSpec(num_queries=1, kind="reach")
+        assert spec.kind == "reachability"
+        spec = PhaseSpec(num_queries=1, kind="ppr")
+        assert spec.kind == "pagerank_local"
+
+    def test_mixed_phase_covers_mix(self, rn):
+        gen = WorkloadGenerator(rn, seed=5)
+        trace = gen.generate(
+            [
+                PhaseSpec(
+                    num_queries=60,
+                    kind="mixed",
+                    mix=(("sssp", 1.0), ("khop", 1.0), ("poi", 1.0)),
+                    depth=2,
+                )
+            ]
+        )
+        kinds = [q.kind for q in trace.queries()]
+        assert set(kinds) == {"sssp", "khop", "poi"}
+        # roughly even blend
+        assert min(kinds.count(k) for k in set(kinds)) >= 10
+
+    def test_mixed_kind_workload_canned(self, rn):
+        gen = WorkloadGenerator(rn, seed=2)
+        trace = gen.mixed_kind_workload(num_queries=70)
+        assert trace.num_queries == 70
+        assert {q.kind for q in trace.queries()} == set(QUERY_KINDS.values())
+
+    def test_mixed_requires_mix(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, kind="mixed")
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, kind="mixed", mix=(("sssp", -1.0),))
+
+    def test_batch_arrivals_all_at_offset(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate([PhaseSpec(num_queries=5, arrival_offset=3.0)])
+        assert all(t == 3.0 for _q, t in trace.entries)
+
+    def test_poisson_arrivals_increase_at_rate(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate(
+            [
+                PhaseSpec(
+                    num_queries=400,
+                    arrival="poisson",
+                    arrival_rate=100.0,
+                    arrival_offset=1.0,
+                )
+            ]
+        )
+        times = np.array([t for _q, t in trace.entries])
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 1.0
+        # mean inter-arrival ~ 1/rate
+        assert abs(np.diff(times).mean() - 0.01) < 0.002
+
+    def test_burst_arrivals_grouped(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate(
+            [
+                PhaseSpec(
+                    num_queries=10,
+                    arrival="burst",
+                    burst_size=4,
+                    burst_gap=2.0,
+                )
+            ]
+        )
+        times = [t for _q, t in trace.entries]
+        assert times == [0.0] * 4 + [2.0] * 4 + [4.0] * 2
+
+    def test_burst_gap_derived_from_rate(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.generate(
+            [
+                PhaseSpec(
+                    num_queries=8,
+                    arrival="burst",
+                    burst_size=4,
+                    arrival_rate=2.0,  # -> gap of 2.0s
+                )
+            ]
+        )
+        times = sorted({t for _q, t in trace.entries})
+        assert times == [0.0, 2.0]
+
+    def test_poi_workload_honours_arrival_process(self, rn):
+        gen = WorkloadGenerator(rn, seed=0)
+        trace = gen.paper_poi_workload(
+            num_queries=20, arrival="poisson", arrival_rate=50.0
+        )
+        times = np.array([t for _q, t in trace.entries])
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] > 0.0  # not a t=0 batch
+
+    def test_invalid_arrival_specs(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, arrival="bogus")
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, arrival="poisson")
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, arrival="burst", burst_size=0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, arrival="burst")  # no gap, no rate
+
+    def test_arrival_draws_do_not_perturb_endpoints(self, rn):
+        """Switching the arrival process must not change which queries are
+        generated (endpoint sampling uses a separate RNG stream)."""
+        a = WorkloadGenerator(rn, seed=6).generate([PhaseSpec(num_queries=10)])
+        b = WorkloadGenerator(rn, seed=6).generate(
+            [PhaseSpec(num_queries=10, arrival="poisson", arrival_rate=10.0)]
+        )
+        for (qa, _), (qb, _) in zip(a.entries, b.entries):
+            assert qa.initial_vertices == qb.initial_vertices
+
+
+class TestIdNamespaces:
+    def test_id_offset_shifts_ids(self, rn):
+        gen = WorkloadGenerator(rn, seed=0, id_offset=500)
+        trace = gen.generate([PhaseSpec(num_queries=3)])
+        assert [q.query_id for q in trace.queries()] == [500, 501, 502]
+
+    def test_namespaced_offsets_disjoint(self, rn):
+        a = WorkloadGenerator(rn, seed=0, id_offset=namespaced_id_offset(0))
+        b = WorkloadGenerator(rn, seed=1, id_offset=namespaced_id_offset(1))
+        ta = a.generate([PhaseSpec(num_queries=10)])
+        tb = b.generate([PhaseSpec(num_queries=10)])
+        ids_a = {q.query_id for q in ta.queries()}
+        ids_b = {q.query_id for q in tb.queries()}
+        assert not ids_a & ids_b
+
+    def test_two_generators_compose_in_one_engine(self, rn):
+        """Regression: two generators both numbering from 0 used to raise a
+        duplicate-id EngineError when their traces fed one engine."""
+        from repro.core import Controller
+        from repro.engine import EngineConfig, QGraphEngine
+        from repro.partitioning import HashPartitioner
+        from repro.simulation.cluster import make_cluster
+
+        graph = rn.graph
+        k = 2
+        assignment = HashPartitioner(seed=0).partition(graph, k)
+        engine = QGraphEngine(
+            graph,
+            make_cluster("M2", k),
+            assignment,
+            controller=Controller(k),
+            config=EngineConfig(adaptive=False),
+        )
+        a = WorkloadGenerator(rn, seed=0, id_offset=namespaced_id_offset(0))
+        b = WorkloadGenerator(rn, seed=1, id_offset=namespaced_id_offset(1))
+        merged = a.generate([PhaseSpec(num_queries=6)]).merge(
+            b.generate([PhaseSpec(num_queries=6)])
+        )
+        merged.submit_all(engine)  # must not raise duplicate-id EngineError
+        trace = engine.run()
+        assert len(trace.finished_queries()) == 12
+
+    def test_negative_offset_rejected(self, rn):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(rn, id_offset=-1)
+        with pytest.raises(WorkloadError):
+            namespaced_id_offset(-2)

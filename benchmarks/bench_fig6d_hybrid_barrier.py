@@ -3,7 +3,11 @@
 Paper (64 SSSP queries, BW, k=8, M1): better partitioning (Domain vs Hash)
 gives 1.7-2.4x lower total latency; the hybrid barrier gives an additional
 1.2-1.7x for both partitionings compared to BSP-like global synchronization.
-We additionally report the Seraph-style per-query global barrier [44].
+We additionally report the Seraph-style per-query global barrier [44], and
+an adaptive hybrid arm whose repartition cost is reported as the honest
+``stall_duration`` (STOP-begin → START) — the legacy ``barrier_duration``
+also charges the asynchronous Q-cut planning time that §3.4 explicitly
+overlaps with query execution, overstating the barrier's price.
 """
 
 from repro.bench import Scenario, scale_queries
@@ -29,23 +33,48 @@ def build_arms():
             arms[name] = Scenario(
                 name=name, partitioner=part, sync_mode=mode, **base
             )
+    # adaptive arm: how much of the hybrid barrier budget STOP/START costs
+    arms["hash/hybrid+qcut"] = Scenario(
+        name="hash/hybrid+qcut",
+        partitioner="hash",
+        sync_mode=SyncMode.HYBRID,
+        **{**base, "adaptive": True},
+    )
     return arms
 
 
 def test_fig6d_hybrid_barrier(benchmark, record_info):
     results = benchmark.pedantic(run_arms, args=(build_arms(),), rounds=1, iterations=1)
     rows = [
-        (name, r.total_latency, r.makespan, r.trace.barrier_acks)
+        (
+            name,
+            r.total_latency,
+            r.makespan,
+            r.trace.barrier_acks,
+            r.trace.total_repartition_stall(),
+        )
         for name, r in results.items()
     ]
     print(
         "\n"
         + format_table(
-            ["arm", "total latency", "makespan", "barrier acks"],
+            ["arm", "total latency", "makespan", "barrier acks", "repart stall"],
             rows,
             title="Figure 6d: barrier models (BW, SSSP, k=8, M1)",
         )
     )
+    adaptive = results["hash/hybrid+qcut"]
+    stall = adaptive.trace.total_repartition_stall()
+    legacy = sum(r.barrier_duration for r in adaptive.trace.repartitions)
+    print(
+        f"hash/hybrid+qcut: {len(adaptive.trace.repartitions)} repartitions, "
+        f"honest STOP/START stall {stall:.5f}s "
+        f"(legacy barrier_duration sum {legacy:.5f}s — inflated by the "
+        f"async Q-cut planning that overlaps execution)"
+    )
+    # the honest stall can never exceed the legacy number: STOP-begin is
+    # strictly after the Q-cut trigger the legacy field measures from
+    assert stall <= legacy
     speedups = {}
     for part in ("hash", "domain"):
         hybrid = results[f"{part}/hybrid"].total_latency
@@ -72,6 +101,8 @@ def test_fig6d_hybrid_barrier(benchmark, record_info):
         domain_vs_bsp=speedups["domain"]["vs shared-bsp"],
         domain_vs_global=speedups["domain"]["vs global-per-query"],
         partitioning_speedup=partition_speedup,
+        adaptive_repart_stall=stall,
+        adaptive_repart_stall_legacy=legacy,
     )
     # shape: hybrid is never slower than the traditional barriers, and the
     # benefit is substantial for the locality-friendly Domain partitioning

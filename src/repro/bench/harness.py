@@ -140,6 +140,9 @@ class Scenario:
     arrival process of the workload phases (``"batch"`` — everything at
     t=0, the paper's setup — ``"poisson"`` or ``"burst"``).  The
     ``"mixed"`` workload blends all seven query programs.
+    ``repartition_mode`` picks the STOP/START barrier scope
+    (``"global"`` — the paper's whole-cluster drain — or ``"partial"``,
+    which halts only the move plan's involved workers).
     """
 
     name: str
@@ -154,6 +157,7 @@ class Scenario:
     disturbance_queries: int = 0
     max_parallel: int = 16
     scheduler: str = "fifo"
+    repartition_mode: str = "global"
     arrival: str = "batch"
     arrival_rate: float = 0.0
     seed: int = 0
@@ -244,6 +248,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             max_parallel_queries=scenario.max_parallel,
             scheduler=scenario.scheduler,
             adaptive=scenario.adaptive,
+            repartition_mode=scenario.repartition_mode,
         ),
         trace=trace,
     )

@@ -20,7 +20,7 @@ The controller owns the MAPE loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -91,6 +91,10 @@ class MovePlan:
     cost_before: float = 0.0
     cost_after: float = 0.0
     ils_result: Optional[IlsResult] = None
+    #: workers that source or receive vertices under this plan — the seed of
+    #: the engine's partial STOP/START halt set (the engine widens it with
+    #: the mailbox owners of queries whose state the moves touch)
+    involved_workers: FrozenSet[int] = frozenset()
 
     @property
     def moved_vertices(self) -> int:
@@ -407,6 +411,13 @@ class Controller:
             if vertices is None or vertices.size == 0:
                 continue
             plan.moves.append(MoveRequest(src=origin, dst=current, vertices=vertices))
+        # annotate the plan with the workers the Execute step touches — a
+        # subset of the solution-level relocation workers
+        # (QcutState.relocation_workers), narrowed to the moves that still
+        # carry vertices: empty fragments never make it into the plan
+        plan.involved_workers = frozenset(
+            w for m in plan.moves for w in (m.src, m.dst)
+        )
 
         # adaptive backoff: when the ILS stops finding substantial
         # improvements, the partitioning has converged to its

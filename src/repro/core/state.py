@@ -35,7 +35,7 @@ the union mass per worker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 import numpy as np
 
@@ -239,6 +239,19 @@ class QcutState:
             if current != origin:
                 out.append((unit, origin, current))
         return out
+
+    def relocation_workers(self) -> FrozenSet[int]:
+        """Workers touched by the solution's relocations (origins ∪ targets).
+
+        The superset of the workers a partial STOP/START barrier must halt
+        for this solution; the controller narrows it to the moves that
+        still carry vertices when it emits the low-level plan.
+        """
+        workers = set()
+        for _unit, origin, current in self.relocated_fragments():
+            workers.add(origin)
+            workers.add(current)
+        return frozenset(workers)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

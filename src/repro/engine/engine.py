@@ -15,7 +15,10 @@ Synchronization modes (see :mod:`repro.engine.barriers`):
 * ``HYBRID`` — the paper's model.  Queries on a single worker run under a
   *local query barrier* with no controller round-trip; queries spanning
   several workers synchronize via *limited query barriers* involving only
-  those workers; repartitioning uses a *global STOP/START barrier*.
+  those workers; repartitioning uses a *STOP/START barrier* — global by
+  default, or scoped to the move plan's involved workers when
+  ``EngineConfig.repartition_mode == "partial"`` (queries disjoint from
+  the plan keep iterating through the repartition).
 * ``GLOBAL_PER_QUERY`` — Seraph-style [44]: per-query barriers spanning all
   workers (non-involved workers still process barrier acks).
 * ``SHARED_BSP`` — Pregel-style: one barrier shared by all queries.
@@ -61,6 +64,17 @@ class EngineConfig:
         is event-for-event identical to the historical deque.
     adaptive:
         Whether the controller's Q-cut adaptation loop is active.
+    repartition_mode:
+        ``"global"`` (default) drains and halts the whole cluster for every
+        repartition, the paper's §3.4 STOP/START barrier.  ``"partial"``
+        halts only the plan's *involved workers* (move sources and
+        destinations, widened with the mailbox owners of the queries whose
+        state lives on them); queries disjoint from that closure keep
+        iterating through the repartition.  A partial plan involving every
+        worker reproduces global mode event-for-event.  Under
+        ``SyncMode.SHARED_BSP`` the shared superstep barrier already
+        synchronizes everyone, so ``"partial"`` degrades to global
+        behaviour there.
     use_kernels:
         Whether programs that provide a vectorized
         :class:`~repro.engine.kernels.QueryKernel` run through the
@@ -76,6 +90,7 @@ class EngineConfig:
     max_parallel_queries: int = 16
     scheduler: Union[str, Scheduler] = "fifo"
     adaptive: bool = True
+    repartition_mode: str = "global"
     use_kernels: bool = True
     vertex_state_bytes: int = 48
     local_barrier_cost: float = 1.0e-6
@@ -103,6 +118,11 @@ class QGraphEngine:
         self.cluster = cluster
         self.assignment = assignment.copy()
         self.config = config or EngineConfig()
+        if self.config.repartition_mode not in ("global", "partial"):
+            raise EngineError(
+                f"unknown repartition mode {self.config.repartition_mode!r}; "
+                "pick 'global' or 'partial'"
+            )
         self.controller = controller or Controller(cluster.num_workers)
         if self.controller.k != cluster.num_workers:
             raise EngineError("controller worker count != cluster worker count")
@@ -126,10 +146,24 @@ class QGraphEngine:
         self.paused = False
         self._stop_scheduled = False
         self._outstanding = 0
+        #: query id -> {worker: in-flight compute count} (computes whose
+        #: ``compute_done`` has not fired yet; partial STOP drains these)
+        self._inflight: Dict[int, Dict[int, int]] = {}
         self._held_resolutions: List[int] = []
         self._held_tasks: List[Tuple[int, int]] = []
+        #: tasks of *non-halted* queries that landed on a halted worker
+        #: during a partial STOP — re-fired verbatim at START (partial mode
+        #: only; stage B's state reset would be wrong for these queries,
+        #: which may still have computes in flight on live workers)
+        self._held_other_tasks: List[Tuple[int, int]] = []
         self._pending_plan: Optional[MovePlan] = None
+        #: workers halted by the active STOP (None -> all of them: global
+        #: mode, or no STOP in progress)
+        self._stop_workers: Optional[Set[int]] = None
+        #: queries halted by the active partial STOP
+        self._stop_queries: Set[int] = set()
         self._qcut_trigger_time = 0.0
+        self._stop_begin_time = 0.0
         # --- shared-BSP state ---
         self._bsp_in_progress = False
         self._bsp_outstanding = 0
@@ -202,6 +236,78 @@ class QGraphEngine:
     def _dispatch_cost(self) -> float:
         return self.cluster.machine.controller_dispatch_time
 
+    def _partial_repartitioning(self) -> bool:
+        """Whether STOP/START barriers run in plan-scoped (partial) mode.
+
+        The shared-BSP superstep barrier already synchronizes every worker
+        and query, so partial mode has nothing to scope there — it degrades
+        to global behaviour.
+        """
+        return (
+            self.config.repartition_mode == "partial"
+            and self.config.sync_mode is not SyncMode.SHARED_BSP
+        )
+
+    def _query_paused(self, query_id: int) -> bool:
+        """Whether this query is halted by the STOP in progress."""
+        if not self.paused:
+            return False
+        if self._stop_workers is None:  # global STOP halts everyone
+            return True
+        return query_id in self._stop_queries
+
+    def _inflight_add(self, query_id: int, worker: int) -> None:
+        per_worker = self._inflight.setdefault(query_id, {})
+        per_worker[worker] = per_worker.get(worker, 0) + 1
+
+    def _inflight_remove(self, query_id: int, worker: int) -> None:
+        per_worker = self._inflight.get(query_id)
+        if per_worker is None:
+            return
+        count = per_worker.get(worker, 0) - 1
+        if count > 0:
+            per_worker[worker] = count
+        else:
+            per_worker.pop(worker, None)
+        if not per_worker:
+            self._inflight.pop(query_id, None)
+
+    def _query_footprint(self, query_id: int) -> Set[int]:
+        """Workers currently holding state of a running query: mailbox
+        owners (both generations), the current iteration's participants,
+        and workers with a compute in flight."""
+        qr = self.runtimes[query_id]
+        footprint = set(qr.mailboxes) | set(qr.next_mailboxes) | qr.involved
+        footprint.update(self._inflight.get(query_id, ()))
+        return footprint
+
+    def _plan_scope(self, plan: MovePlan) -> Tuple[Set[int], Set[int]]:
+        """The (halted workers, halted queries) of a partial STOP.
+
+        The plan's involved workers (move sources/destinations) seed the
+        halt; a running query whose footprint touches them is halted too —
+        every message addressed to a to-be-moved vertex sits on that
+        vertex's pre-move owner (a move source), so this catches every
+        query whose mailboxes the migration re-homes.  The halted workers
+        are then widened once with the halted queries' footprints (the
+        workers that must pause those queries' work and ack the STOP);
+        queries that only share a worker with a halted *query* — not with
+        the plan itself — keep iterating, any task they send to a halted
+        worker is simply parked until START.
+        """
+        workers: Set[int] = set(plan.involved_workers)
+        for move in plan.moves:
+            workers.add(move.src)
+            workers.add(move.dst)
+        queries: Set[int] = set()
+        widened: Set[int] = set(workers)
+        for query_id in sorted(self.running):
+            footprint = self._query_footprint(query_id)
+            if footprint & workers:
+                queries.add(query_id)
+                widened |= footprint
+        return widened, queries
+
     # ------------------------------------------------------------------
     # event: query arrival / admission
     # ------------------------------------------------------------------
@@ -270,9 +376,17 @@ class QGraphEngine:
     # ------------------------------------------------------------------
     def _on_task_ready(self, now: float, query_id: int, worker: int) -> None:
         if self.paused:
-            self._held_tasks.append((query_id, worker))
-            self._maybe_begin_stop(now)
-            return
+            if self._query_paused(query_id) or self.runtimes[query_id].finished:
+                self._held_tasks.append((query_id, worker))
+                self._maybe_begin_stop(now)
+                return
+            if self._stop_workers is not None and worker in self._stop_workers:
+                # a non-halted query's frontier reached a halted worker
+                # mid-STOP: park the task; it resumes (or redirects, if the
+                # rebucket re-homed the mailbox) at START
+                self._held_other_tasks.append((query_id, worker))
+                return
+            # disjoint query on a live worker: keeps iterating
         qr = self.runtimes[query_id]
         if qr.finished:
             return
@@ -308,6 +422,24 @@ class QGraphEngine:
                 # the barrier on behalf of a redirected worker that has yet
                 # to recompute; already-arrived acks stay valid
                 qr.barrier_epoch += 1
+                # the bump also invalidated in-flight acks of workers that
+                # finished this iteration's compute and are not re-tasked
+                # (their mailboxes were consumed, not re-homed).  Nothing
+                # would ever ack for them again — re-issue on their behalf
+                # so the barrier stays live.  Workers whose compute is
+                # still running are skipped: their ack is stamped with the
+                # epoch current when compute_done fires, i.e. this one.
+                inflight = self._inflight.get(query_id, {})
+                for w in sorted((qr.computed & qr.involved) - qr.acked):
+                    if w in inflight:
+                        continue
+                    self.queue.schedule(
+                        now + self._ctrl_latency(w),
+                        "barrier_ack",
+                        query_id=query_id,
+                        worker=w,
+                        epoch=qr.barrier_epoch,
+                    )
                 if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
                     # re-issue the redundant acks the epoch bump invalidated
                     # (incl. this demoted worker's own)
@@ -340,6 +472,7 @@ class QGraphEngine:
         )
         start, finish = w.occupy(now, duration)
         self._outstanding += 1
+        self._inflight_add(qr.query.query_id, worker)
         if result.executed_vertices:
             self.trace.vertices_executed(worker, start, result.executed_vertices)
         self.trace.local_messages += result.local_messages
@@ -366,6 +499,7 @@ class QGraphEngine:
         self, now: float, query_id: int, worker: int, had_remote: bool
     ) -> None:
         self._outstanding -= 1
+        self._inflight_remove(query_id, worker)
         qr = self.runtimes[query_id]
 
         if self.config.sync_mode is SyncMode.SHARED_BSP:
@@ -380,7 +514,7 @@ class QGraphEngine:
             and qr.involved == {worker}
             and not qr.prior_participants  # interrupted iteration spanned more workers
             and not had_remote
-            and not self.paused
+            and not self._query_paused(query_id)
         )
         if local_candidate:
             # local query barrier: resolve on the worker, no controller trip
@@ -439,7 +573,7 @@ class QGraphEngine:
         self._activated[query_id] = []
         self.trace.iteration_executed(query_id, involved_count)
 
-        if self.paused:
+        if self._query_paused(query_id):
             qr.release_pending = True
             self._held_resolutions.append(query_id)
             return
@@ -495,6 +629,12 @@ class QGraphEngine:
         stale ack still in flight across a STOP/START (which bumped the
         epoch and re-issued fresh acks) is dropped instead of being
         re-stamped with the new epoch.
+
+        Deliberately *not* gated on a partial STOP's halted set: barrier
+        acks are control-plane traffic, which workers keep serving during
+        a STOP exactly as they serve the STOP/START handshake itself (the
+        global drain likewise processes in-flight acks).  Only graph
+        compute is fenced off halted workers.
         """
         qr = self.runtimes[query_id]
         if qr.finished:
@@ -634,17 +774,40 @@ class QGraphEngine:
         self._pending_plan = plan
         self.paused = True
         self._stop_scheduled = False
+        self._stop_begin_time = now
+        if self._partial_repartitioning():
+            self._stop_workers, self._stop_queries = self._plan_scope(plan)
+        else:
+            self._stop_workers = None
+            self._stop_queries = set()
         self._maybe_begin_stop(now)
 
     def _maybe_begin_stop(self, now: float) -> None:
         if not self.paused or self._stop_scheduled:
             return
-        if self._outstanding > 0:
-            return
+        if self._stop_workers is None:
+            # global STOP: the whole cluster drains
+            if self._outstanding > 0:
+                return
+        else:
+            # partial STOP: drain the halted queries' computes (wherever
+            # they run — stage B's barrier reset at START must not race an
+            # in-flight ack) and any compute on a halted worker; everyone
+            # else keeps running
+            for query_id, per_worker in self._inflight.items():
+                if query_id in self._stop_queries:
+                    return
+                if not self._stop_workers.isdisjoint(per_worker):
+                    return
         self._stop_scheduled = True
-        # STOP barrier: all workers ack the halt
+        # STOP barrier: the halted workers ack the halt
+        halted = (
+            self.workers
+            if self._stop_workers is None
+            else [self.workers[w] for w in sorted(self._stop_workers)]
+        )
         stop_time = now
-        for w in self.workers:
+        for w in halted:
             _s, finish = w.occupy(
                 max(w.busy_until, now), self.cluster.machine.barrier_ack_time
             )
@@ -656,7 +819,11 @@ class QGraphEngine:
         self._pending_plan = None
         assert plan is not None
         moved_total = 0
-        link_times: List[float] = [0.0]
+        # migration cost is contention-aware: payloads serialize within a
+        # directed link, so two moves sharing (src, dst) are charged the
+        # combined transfer, and the stall is the max over links (links
+        # transfer concurrently)
+        link_payloads: Dict[Tuple[int, int], int] = {}
         for move in plan.moves:
             mask = self.assignment[move.vertices] == move.src
             vertices = move.vertices[mask]
@@ -664,13 +831,23 @@ class QGraphEngine:
                 continue
             self.assignment[vertices] = move.dst
             moved_total += int(vertices.size)
-            link = self.cluster.link(move.src, move.dst)
-            payload = vertices.size * self.config.vertex_state_bytes
-            link_times.append(link.latency + payload / link.bandwidth)
-        duration = max(link_times)
+            key = (move.src, move.dst)
+            link_payloads[key] = (
+                link_payloads.get(key, 0)
+                + int(vertices.size) * self.config.vertex_state_bytes
+            )
+        duration = 0.0
+        for (src, dst), payload in link_payloads.items():
+            link = self.cluster.link(src, dst)
+            duration = max(duration, link.latency + payload / link.bandwidth)
         for qr in self.runtimes.values():
             if not qr.finished:
-                qr.rebucket(self.assignment)
+                qr.rebucket(self.assignment, workers=self._stop_workers)
+        involved = (
+            tuple(range(self.cluster.num_workers))
+            if self._stop_workers is None
+            else tuple(sorted(self._stop_workers))
+        )
         self.trace.repartitioned(
             RepartitionRecord(
                 time=now,
@@ -679,6 +856,8 @@ class QGraphEngine:
                 barrier_duration=(now + duration) - self._qcut_trigger_time,
                 cost_before=plan.cost_before,
                 cost_after=plan.cost_after,
+                involved_workers=involved,
+                stall_duration=(now + duration) - self._stop_begin_time,
             )
         )
         self.queue.schedule(now + duration, "global_start")
@@ -686,6 +865,8 @@ class QGraphEngine:
     def _on_global_start(self, now: float) -> None:
         self.paused = False
         self._stop_scheduled = False
+        self._stop_workers = None
+        self._stop_queries = set()
         # placement-aware admission policies re-bucket their pending queries
         # against the post-repartition assignment before anything is admitted
         self.scheduler.on_assignment_changed(self.assignment)
@@ -693,6 +874,8 @@ class QGraphEngine:
         self._held_resolutions.clear()
         held_tasks = list(dict.fromkeys(self._held_tasks))
         self._held_tasks.clear()
+        held_other = list(dict.fromkeys(self._held_other_tasks))
+        self._held_other_tasks.clear()
 
         if self.config.sync_mode is SyncMode.SHARED_BSP:
             self._admit_pending(now)
@@ -751,4 +934,20 @@ class QGraphEngine:
                             worker=w,
                             epoch=qr.barrier_epoch,
                         )
+
+        # stage C (partial mode): tasks of queries that kept iterating but
+        # whose frontier reached a halted worker.  Those queries were never
+        # quiesced, so no barrier-state reset — the parked dispatch simply
+        # resumes; if the rebucket re-homed its mailbox, the stale-dispatch
+        # redirect in _on_task_ready re-tasks the current owners.
+        for query_id, w in held_other:
+            qr = self.runtimes[query_id]
+            if qr.finished:
+                continue
+            self.queue.schedule(
+                now + self._ctrl_latency(w),
+                "task_ready",
+                query_id=query_id,
+                worker=w,
+            )
         self._admit_pending(now)

@@ -187,17 +187,33 @@ class QueryRuntime:
         """Workers that will participate in the next iteration."""
         return {w for w, box in self.next_mailboxes.items() if box}
 
-    def rebucket(self, assignment) -> None:
+    def rebucket(self, assignment, workers: Optional[Set[int]] = None) -> None:
         """Re-home mailbox entries after vertices moved between workers.
 
         Handles both mailbox generations and both representations (dict
         boxes on the generic path, :class:`ArrayMailbox` chunks on the
-        vectorized path).
+        vectorized path).  When two old boxes each hold a message for the
+        same vertex, the re-homed entries are merged with
+        ``program.combine`` (array boxes defer combining to consumption
+        time) — overwriting would silently drop a message.
+
+        ``workers`` restricts the pass to mailboxes currently homed on
+        those workers (partial STOP/START: every message addressed to a
+        moved vertex was delivered to its pre-move owner, which is part of
+        the halted set, so scanning only the halted workers' boxes is
+        lossless).  ``None`` scans everything.
         """
+        combine = self.query.program.combine
         for attr in ("mailboxes", "next_mailboxes"):
             old: Dict[int, Any] = getattr(self, attr)
             fresh: Dict[int, Any] = {}
-            for _w, box in old.items():
+            scanned = []
+            for w, box in old.items():
+                if workers is not None and w not in workers:
+                    fresh[w] = box  # out of scope: stays in place
+                else:
+                    scanned.append(box)
+            for box in scanned:
                 if isinstance(box, ArrayMailbox):
                     vertices, messages = box.concat()
                     for owner, vchunk, mchunk in group_by_owner(
@@ -209,7 +225,11 @@ class QueryRuntime:
                         dest.append(vchunk, mchunk)
                 else:
                     for v, msg in box.items():
-                        fresh.setdefault(int(assignment[v]), {})[v] = msg
+                        dest = fresh.setdefault(int(assignment[v]), {})
+                        if v in dest:
+                            dest[v] = combine(dest[v], msg)
+                        else:
+                            dest[v] = msg
             setattr(self, attr, fresh)
 
     def materialized_state(self) -> Dict[int, Any]:

@@ -62,9 +62,11 @@ class Scheduler:
     The engine calls :meth:`add` when a query arrives while the engine is
     paused or saturated, :meth:`pop` whenever an execution slot frees up,
     and :meth:`on_assignment_changed` after a repartition commits a new
-    vertex→worker assignment.  ``len(scheduler)`` is the number of pending
-    queries; :meth:`pending_queries` is a stable snapshot for tests and
-    introspection.
+    vertex→worker assignment — for *every* STOP/START, including partial
+    ones (``EngineConfig.repartition_mode == "partial"``), whose plans also
+    rewrite the assignment before anything is admitted.  ``len(scheduler)``
+    is the number of pending queries; :meth:`pending_queries` is a stable
+    snapshot for tests and introspection.
     """
 
     name = "base"

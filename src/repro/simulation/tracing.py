@@ -46,7 +46,15 @@ class QueryRecord:
 
 @dataclass
 class RepartitionRecord:
-    """One adaptive repartitioning (global STOP/START barrier)."""
+    """One adaptive repartitioning (STOP/START barrier, global or partial).
+
+    ``barrier_duration`` is kept for compatibility: it is measured from the
+    moment the *asynchronous* Q-cut planning was triggered, so it includes
+    the planning time that overlaps normal execution (§3.4) and therefore
+    overstates the disruption.  ``stall_duration`` is the honest number —
+    measured from STOP-begin (when the engine starts holding tasks) to
+    START (when held queries resume).
+    """
 
     time: float
     moved_vertices: int
@@ -54,6 +62,11 @@ class RepartitionRecord:
     barrier_duration: float
     cost_before: float
     cost_after: float
+    #: workers halted by the STOP barrier (every worker in global mode; the
+    #: plan's involved-worker closure in partial mode)
+    involved_workers: Tuple[int, ...] = ()
+    #: STOP-begin -> START; excludes the overlapped async planning time
+    stall_duration: float = float("nan")
 
 
 @dataclass
@@ -128,6 +141,19 @@ class MetricsTrace:
         if not finished:
             return 0.0
         return max(q.end_time for q in finished) - min(q.start_time for q in finished)
+
+    def total_repartition_stall(self) -> float:
+        """Sum of honest repartition stalls (``stall_duration``) so far.
+
+        Records written before the field existed (NaN) are skipped.
+        """
+        return float(
+            sum(
+                r.stall_duration
+                for r in self.repartitions
+                if not np.isnan(r.stall_duration)
+            )
+        )
 
     def mean_locality(self) -> float:
         """Average per-query locality (Fig. 6f / §4.2 claims)."""

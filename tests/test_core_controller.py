@@ -109,6 +109,20 @@ class TestQcutPlan:
             # src must match the assignment at snapshot time
             assert np.all(assignment[move.vertices] == move.src)
 
+    def test_plan_annotates_involved_workers(self):
+        """The plan's involved-worker annotation is exactly the moves'
+        sources/destinations, and a subset of the ILS solution's
+        relocation workers (empty-vertex fragments are dropped)."""
+        ctrl = make_controller()
+        assignment = np.arange(64) % 4
+        feed_scattered_queries(ctrl, assignment, n=6)
+        ctrl.begin_qcut(assignment, 10.0)
+        plan = ctrl.complete_qcut(11.0)
+        assert plan.moves
+        expected = {w for m in plan.moves for w in (m.src, m.dst)}
+        assert plan.involved_workers == frozenset(expected)
+        assert plan.involved_workers <= plan.ils_result.best_state.relocation_workers()
+
     def test_complete_without_begin(self):
         ctrl = make_controller()
         with pytest.raises(ControllerError):

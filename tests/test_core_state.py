@@ -111,6 +111,14 @@ class TestMoves:
         assert st.placement[(0, 1)] == 0
         assert st.relocated_fragments() == [(0, 1, 0)]
 
+    def test_relocation_workers(self):
+        st = two_unit_state()
+        assert st.relocation_workers() == frozenset()
+        st.apply_move(0, 1, 2)
+        assert st.relocation_workers() == frozenset({1, 2})
+        st.apply_move(1, 2, 0)
+        assert st.relocation_workers() == frozenset({0, 1, 2})
+
 
 class TestCopy:
     def test_copy_is_independent(self):

@@ -28,6 +28,7 @@ from repro.core.controller import Controller, ControllerConfig
 from repro.engine.barriers import SyncMode
 from repro.engine.engine import EngineConfig, QGraphEngine
 from repro.errors import ReproError
+from repro.graph.delta import MutableDiGraph
 from repro.graph.road_network import (
     RoadNetwork,
     baden_wuerttemberg_like,
@@ -143,6 +144,11 @@ class Scenario:
     ``repartition_mode`` picks the STOP/START barrier scope
     (``"global"`` — the paper's whole-cluster drain — or ``"partial"``,
     which halts only the move plan's involved workers).
+    ``churn > 0`` superimposes a graph-stream churn process (topology
+    mutations applied through :class:`~repro.graph.delta.MutableDiGraph`)
+    at that many events per virtual second over a ``churn_span`` horizon;
+    the scenario's road network is deep-copied before mutation so the
+    harness cache stays pristine.
     """
 
     name: str
@@ -160,6 +166,9 @@ class Scenario:
     repartition_mode: str = "global"
     arrival: str = "batch"
     arrival_rate: float = 0.0
+    churn: float = 0.0
+    churn_span: float = 0.5
+    churn_batch: int = 4
     seed: int = 0
     graph_scale: Optional[float] = None
     workload_bucket: float = 0.05
@@ -231,6 +240,9 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     t0 = time.perf_counter()
     rn = road_network_for(scenario.graph_preset, scenario.graph_scale, seed=0)
     graph = rn.graph
+    if scenario.churn > 0:
+        # the cached network is shared across scenarios — mutate a copy
+        graph = MutableDiGraph.from_digraph(graph)
 
     partitioner = _build_partitioner(scenario.partitioner, rn, scenario.seed)
     assignment = partitioner.partition(graph, scenario.k)
@@ -254,24 +266,32 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
     )
 
     generator = WorkloadGenerator(rn, seed=scenario.seed + 1)
+    churn_kwargs = dict(
+        churn_rate=scenario.churn,
+        churn_span=scenario.churn_span,
+        churn_batch=scenario.churn_batch,
+    )
     if scenario.workload == "sssp":
         wl = generator.paper_sssp_workload(
             main_queries=scenario.main_queries,
             disturbance_queries=scenario.disturbance_queries,
             arrival=scenario.arrival,
             arrival_rate=scenario.arrival_rate,
+            **churn_kwargs,
         )
     elif scenario.workload == "poi":
         wl = generator.paper_poi_workload(
             num_queries=scenario.main_queries,
             arrival=scenario.arrival,
             arrival_rate=scenario.arrival_rate,
+            **churn_kwargs,
         )
     elif scenario.workload == "mixed":
         wl = generator.mixed_kind_workload(
             num_queries=scenario.main_queries,
             arrival=scenario.arrival,
             arrival_rate=scenario.arrival_rate,
+            **churn_kwargs,
         )
     else:
         raise ReproError(f"unknown workload {scenario.workload!r}")

@@ -20,7 +20,7 @@ The controller owns the MAPE loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -132,6 +132,10 @@ class Controller:
         #: Q-cuts stop improving (the workload's locality has plateaued at
         #: its balance-constrained optimum — no point thrashing)
         self._backoff = 1.0
+        #: vertices tombstoned by graph churn — future activation reports
+        #: (workers may still be flushing pre-churn iterations) are
+        #: filtered against this so dead ids never re-enter the scopes
+        self._dead_vertices: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Monitor
@@ -151,12 +155,43 @@ class Controller:
         for evicted in self.monitor.record_iteration(query_id, involved_workers, now):
             self.scopes.drop(evicted)
         if activated_vertices:
-            self.scopes.add_activations(query_id, activated_vertices)
+            if self._dead_vertices:
+                activated_vertices = [
+                    v for v in activated_vertices if v not in self._dead_vertices
+                ]
+            if activated_vertices:
+                self.scopes.add_activations(query_id, activated_vertices)
 
     def on_query_finished(self, query_id: int, now: float) -> None:
         self.monitor.record_finish(query_id, now)
         for stale in self.monitor.evict_stale(now):
             self.scopes.drop(stale)
+
+    def on_graph_mutation(self, removed_vertices: Sequence[int]) -> None:
+        """Digest a graph-churn epoch (the Execute side of topology streams).
+
+        Tombstoned vertices are truncated out of every tracked scope so the
+        next Q-cut snapshot never plans moves of dead ids, and remembered so
+        late-arriving activation reports cannot re-introduce them.
+        """
+        if not removed_vertices:
+            return
+        self._dead_vertices.update(int(v) for v in removed_vertices)
+        self.scopes.remove_vertices(removed_vertices)
+
+    def place_new_vertices(
+        self, graph, new_ids: np.ndarray, assignment: np.ndarray
+    ) -> np.ndarray:
+        """Owners for vertices appended by graph churn (streaming LDG).
+
+        New junctions join the partition holding most of their already-placed
+        neighbourhood, subject to the usual LDG capacity penalty — the
+        natural incremental complement to whatever initial partitioner built
+        ``assignment``.
+        """
+        from repro.partitioning.ldg import ldg_place_vertices
+
+        return ldg_place_vertices(graph, new_ids, assignment, self.k)
 
     def average_locality(self) -> float:
         """Monitored average query locality (the Φ signal)."""

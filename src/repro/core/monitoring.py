@@ -117,12 +117,19 @@ class QueryMonitor:
 
     # ------------------------------------------------------------------
     def evict_stale(self, now: float) -> List[int]:
-        """Drop queries outside the monitoring window; returns evicted ids."""
+        """Drop queries outside the monitoring window; returns evicted ids.
+
+        A tumbling window evicts on *activity*, not on completion: a
+        long-running query that has not reported an iteration for a full
+        window is just as stale as a finished one, and keeping it would pin
+        its companion state (the controller's scope store) forever — a real
+        leak once graph churn can delete the vertices its scope references.
+        Evicted running queries that later report again are simply re-tracked
+        from scratch by :meth:`record_iteration`.
+        """
         cutoff = now - self.window
         stale = [
-            qid
-            for qid, s in self._stats.items()
-            if s.finished and s.last_activity < cutoff
+            qid for qid, s in self._stats.items() if s.last_activity < cutoff
         ]
         for qid in stale:
             del self._stats[qid]

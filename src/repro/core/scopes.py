@@ -87,6 +87,14 @@ class QueryScopes:
         """Forget a query (window eviction)."""
         self._scopes.pop(query_id, None)
 
+    def remove_vertices(self, vertices: Iterable[int]) -> None:
+        """Strip tombstoned vertex ids from every tracked scope (graph churn)."""
+        dead = {int(v) for v in vertices}
+        if not dead:
+            return
+        for scope in self._scopes.values():
+            scope.difference_update(dead)
+
     def queries(self) -> List[int]:
         """Ids of all tracked queries."""
         return sorted(self._scopes)
@@ -187,6 +195,43 @@ class ScopeStore:
         had = self._arrays.pop(query_id, None) is not None
         had |= self._pending.pop(query_id, None) is not None
         if had:
+            self._flat = None
+
+    def remove_vertices(self, vertices: "Iterable[int] | np.ndarray") -> None:
+        """Strip tombstoned vertex ids from every tracked scope (graph churn).
+
+        Filters both the consolidated sorted arrays and the per-query
+        pending activation buffers, so a dead id can survive in neither
+        representation; the flat incidence view is invalidated when
+        anything changed.
+        """
+        if isinstance(vertices, np.ndarray):
+            dead = np.unique(vertices.astype(np.int64, copy=False))
+        else:
+            dead = np.unique(np.asarray(list(vertices), dtype=np.int64))
+        if dead.size == 0:
+            return
+        changed = False
+        for qid, arr in self._arrays.items():
+            if arr.size == 0:
+                continue
+            # arr is sorted and duplicate-free: membership via searchsorted
+            pos = np.searchsorted(dead, arr)
+            hit = (pos < dead.size) & (dead[np.minimum(pos, dead.size - 1)] == arr)
+            if hit.any():
+                self._arrays[qid] = arr[~hit]
+                changed = True
+        for qid, chunks in self._pending.items():
+            fresh_chunks = []
+            for chunk in chunks:
+                keep = ~np.isin(chunk, dead)
+                if not keep.all():
+                    chunk = chunk[keep]
+                    changed = True
+                if chunk.size:
+                    fresh_chunks.append(chunk)
+            self._pending[qid] = fresh_chunks
+        if changed:
             self._flat = None
 
     # ------------------------------------------------------------------

@@ -38,10 +38,15 @@ from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.vertex_program import reduce_aggregator
 from repro.engine.worker import SimWorker
 from repro.errors import EngineError
+from repro.graph.delta import GraphDelta, MutableDiGraph
 from repro.graph.digraph import DiGraph
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.events import EventQueue
-from repro.simulation.tracing import MetricsTrace, RepartitionRecord
+from repro.simulation.tracing import (
+    GraphChurnRecord,
+    MetricsTrace,
+    RepartitionRecord,
+)
 
 __all__ = ["EngineConfig", "QGraphEngine"]
 
@@ -164,6 +169,9 @@ class QGraphEngine:
         self._stop_queries: Set[int] = set()
         self._qcut_trigger_time = 0.0
         self._stop_begin_time = 0.0
+        #: graph deltas that arrived while a STOP (or a shared-BSP
+        #: superstep) was in progress — applied at the next safe boundary
+        self._held_updates: List[GraphDelta] = []
         # --- shared-BSP state ---
         self._bsp_in_progress = False
         self._bsp_outstanding = 0
@@ -186,6 +194,22 @@ class QGraphEngine:
             raise EngineError(f"duplicate query id {query.query_id}")
         self._submitted.add(query.query_id)
         self.queue.schedule(arrival_time, "arrival", query=query)
+
+    def submit_update(self, delta: GraphDelta, time: float = 0.0) -> None:
+        """Enqueue a topology mutation (graph-stream churn event).
+
+        The delta is applied at the next safe boundary after ``time``:
+        immediately between compute tasks in the per-query barrier modes,
+        at the superstep barrier under ``SHARED_BSP``, and after START when
+        a STOP/START repartition is in progress.  Requires the engine to
+        run on a :class:`~repro.graph.delta.MutableDiGraph`.
+        """
+        if not isinstance(self.graph, MutableDiGraph):
+            raise EngineError(
+                "graph updates require a MutableDiGraph "
+                "(wrap the graph with MutableDiGraph.from_digraph)"
+            )
+        self.queue.schedule(time, "graph_update", delta=delta)
 
     def run(self, until: Optional[float] = None) -> MetricsTrace:
         """Process events until quiescence (or virtual time ``until``).
@@ -675,6 +699,87 @@ class QGraphEngine:
         self._admit_pending(now)
 
     # ------------------------------------------------------------------
+    # event: graph churn (topology mutation)
+    # ------------------------------------------------------------------
+    def _on_graph_update(self, now: float, delta: GraphDelta) -> None:
+        """A churn event from the graph stream reached the controller.
+
+        Mutations are fenced off two windows where applying them would tear
+        shared state: a STOP/START repartition (the migration and rebucket
+        must run against one consistent topology) and an in-flight shared
+        superstep (all of a superstep's computes must see the same CSR).
+        In the per-query barrier modes the delta applies right here:
+        compute tasks materialise their effects eagerly, so application
+        always falls *between* tasks — but not necessarily between
+        iterations.  Two workers computing the same iteration of one query
+        may straddle the flush and see different topologies; the built-in
+        programs are monotone wavefronts, for which that interleaving is
+        just another legal message ordering of a streaming system.
+        """
+        if self.paused or self._bsp_in_progress:
+            self._held_updates.append(delta)
+            return
+        self._apply_graph_update(now, delta)
+
+    def _apply_held_updates(self, now: float) -> None:
+        if not self._held_updates:
+            return
+        held = self._held_updates
+        self._held_updates = []
+        for delta in held:
+            self._apply_graph_update(now, delta)
+
+    def _apply_graph_update(self, now: float, delta: GraphDelta) -> None:
+        """Flush one delta into the graph and resize/clean engine state."""
+        graph = self.graph
+        assert isinstance(graph, MutableDiGraph)
+        result = graph.apply_delta(delta)
+        if not result and result.skipped == 0:
+            return  # empty delta: nothing to record
+
+        if result.added_vertices:
+            # streaming LDG placement for the appended vertices, then grow
+            # every dense per-vertex structure (assignment, kernel state)
+            new_ids = np.arange(
+                result.first_new_vertex, graph.num_vertices, dtype=np.int64
+            )
+            owners = self.controller.place_new_vertices(
+                graph, new_ids, self.assignment
+            )
+            self.assignment = np.concatenate([self.assignment, owners])
+            for qr in self.runtimes.values():
+                if not qr.finished:
+                    qr.grow(graph.num_vertices)
+            # placement-aware admission policies see the grown assignment
+            self.scheduler.on_assignment_changed(self.assignment)
+
+        dropped = 0
+        if result.removed_vertices:
+            dead = graph.dead_mask
+            for qr in self.runtimes.values():
+                if not qr.finished:
+                    dropped += qr.purge_dead_targets(dead)
+
+        # controller hygiene: truncate scope-store entries of dead vertices
+        # so Q-cut snapshots never plan moves of dead ids (the controller
+        # also filters dead ids out of future activation reports, covering
+        # the engine's not-yet-reported _activated buffers)
+        self.controller.on_graph_mutation(result.removed_vertices)
+
+        self.trace.graph_updated(
+            GraphChurnRecord(
+                time=now,
+                inserted_edges=result.inserted_edges,
+                deleted_edges=result.deleted_edges,
+                updated_weights=result.updated_weights,
+                added_vertices=result.added_vertices,
+                removed_vertices=len(result.removed_vertices),
+                skipped_mutations=result.skipped,
+                dropped_messages=dropped,
+            )
+        )
+
+    # ------------------------------------------------------------------
     # shared-BSP mode
     # ------------------------------------------------------------------
     def _bsp_begin_superstep(self, now: float) -> None:
@@ -746,6 +851,10 @@ class QGraphEngine:
                 self._finish_query(query_id, resolve)
         self._bsp_participants = set()
         self._bsp_in_progress = False
+        if not self.paused:
+            # superstep barrier: churn deltas held during the superstep
+            # apply here, before the next superstep's computes dispatch
+            self._apply_held_updates(resolve)
         self._maybe_trigger_adaptation(resolve)
         if self.paused:
             self._maybe_begin_stop(resolve)
@@ -870,6 +979,9 @@ class QGraphEngine:
         # placement-aware admission policies re-bucket their pending queries
         # against the post-repartition assignment before anything is admitted
         self.scheduler.on_assignment_changed(self.assignment)
+        # churn deltas held during the STOP apply now, against the migrated
+        # assignment, before any held resolution or task resumes
+        self._apply_held_updates(now)
         held_res = list(dict.fromkeys(self._held_resolutions))
         self._held_resolutions.clear()
         held_tasks = list(dict.fromkeys(self._held_tasks))

@@ -173,11 +173,33 @@ class QueryKernel(abc.ABC):
     message_dtype: Any = np.float64
     #: combiner ufunc applied per target vertex (must match ``program.combine``)
     combine: np.ufunc = np.minimum
+    #: fill value for state slots of vertices added after ``make_state``
+    #: (kernels whose state is a single dense array use the default
+    #: :meth:`grow_state`; tuple-state kernels override it)
+    state_fill: Any = None
 
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def make_state(self, graph: DiGraph) -> Any:
         """Allocate the dense per-query state buffers."""
+
+    def grow_state(self, state: Any, new_n: int) -> Any:
+        """Extend the dense state buffers to cover ``new_n`` vertices.
+
+        Called by the runtime when a graph mutation appends vertices while
+        the query is running; new slots get the same "no state yet" value
+        ``make_state`` would have used.  The default handles the common
+        single-array state via :attr:`state_fill`.
+        """
+        if self.state_fill is None:
+            raise EngineError(
+                f"{type(self).__name__} does not support vertex growth"
+            )
+        if state.size >= new_n:
+            return state
+        grown = np.full(new_n, self.state_fill, dtype=state.dtype)
+        grown[: state.size] = state
+        return grown
 
     @abc.abstractmethod
     def step(
@@ -234,6 +256,7 @@ class _BoundedWavefrontKernel(QueryKernel):
 
     message_dtype = np.float64
     combine = np.minimum
+    state_fill = np.inf
 
     def make_state(self, graph: DiGraph) -> np.ndarray:
         return np.full(graph.num_vertices, np.inf, dtype=np.float64)
@@ -303,6 +326,7 @@ class BfsKernel(QueryKernel):
 
     message_dtype = np.int64
     combine = np.minimum
+    state_fill = _INT_UNSET
 
     def __init__(
         self, target: Optional[int] = None, max_depth: Optional[int] = None
@@ -353,6 +377,7 @@ class KHopKernel(QueryKernel):
 
     message_dtype = np.int64
     combine = np.minimum
+    state_fill = _INT_UNSET
 
     def __init__(self, k: int) -> None:
         self.k = int(k)
@@ -389,6 +414,7 @@ class ReachabilityKernel(QueryKernel):
 
     message_dtype = np.bool_
     combine = np.logical_or
+    state_fill = False
 
     def __init__(self, target: int) -> None:
         self.target = int(target)
@@ -440,6 +466,16 @@ class LocalPageRankKernel(QueryKernel):
         n = graph.num_vertices
         return (np.zeros(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
 
+    def grow_state(self, state, new_n):
+        p, r = state
+        if p.size >= new_n:
+            return state
+        gp = np.zeros(new_n, dtype=np.float64)
+        gr = np.zeros(new_n, dtype=np.float64)
+        gp[: p.size] = p
+        gr[: r.size] = r
+        return (gp, gr)
+
     def step(self, graph, state, vertices, messages, agg_committed):
         p, r = state
         r[vertices] += messages
@@ -487,6 +523,7 @@ class LocalWccKernel(QueryKernel):
 
     message_dtype = np.int64
     combine = np.minimum
+    state_fill = _INT_UNSET
 
     def __init__(self, max_hops: int) -> None:
         self.max_hops = int(max_hops)

@@ -232,6 +232,54 @@ class QueryRuntime:
                             dest[v] = msg
             setattr(self, attr, fresh)
 
+    def grow(self, new_n: int) -> None:
+        """Extend the dense kernel buffers after a graph mutation appended
+        vertices (no-op on the generic path, whose state dict is sparse)."""
+        if self.kernel is None or self.scope_mask is None:
+            return
+        if self.scope_mask.size >= new_n:
+            return
+        self.kstate = self.kernel.grow_state(self.kstate, new_n)
+        grown = np.zeros(new_n, dtype=bool)
+        grown[: self.scope_mask.size] = self.scope_mask
+        self.scope_mask = grown
+
+    def purge_dead_targets(self, dead_mask: np.ndarray) -> int:
+        """Drop *next-iteration* messages addressed to tombstoned vertices.
+
+        Only the next generation is touched: the current iteration's
+        mailboxes already have tasks dispatched against their owner set, so
+        removing entries there could empty a box whose owner is mid-barrier
+        (the stale-dispatch redirect would misread that as a re-homing).  A
+        message left in the current generation for a dead vertex is
+        harmless — the vertex has no out-edges after the flush, so the wave
+        dies there.  Returns the number of messages dropped.
+        """
+        dropped = 0
+        fresh: Dict[int, Any] = {}
+        for w, box in self.next_mailboxes.items():
+            if isinstance(box, ArrayMailbox):
+                vertices, messages = box.concat()
+                if vertices.size == 0:
+                    continue
+                keep = ~dead_mask[vertices]
+                dropped += int(vertices.size - np.count_nonzero(keep))
+                if keep.all():
+                    fresh[w] = box
+                elif keep.any():
+                    kept = ArrayMailbox()
+                    kept.append(vertices[keep], messages[keep])
+                    fresh[w] = kept
+            else:
+                kept_box = {
+                    v: msg for v, msg in box.items() if not dead_mask[v]
+                }
+                dropped += len(box) - len(kept_box)
+                if kept_box:
+                    fresh[w] = kept_box
+        self.next_mailboxes = fresh
+        return dropped
+
     def materialized_state(self) -> Dict[int, Any]:
         """The sparse ``{vertex: Dv}`` view, whichever path is active."""
         if self.kernel is not None and not self.finished:

@@ -1,6 +1,13 @@
 """Graph substrate: CSR storage, builders, IO, generators, metrics."""
 
-from repro.graph.builder import GraphBuilder
+from repro.graph.builder import GraphBuilder, csr_arrays_from_edges
+from repro.graph.delta import (
+    DeltaResult,
+    GraphDelta,
+    MutableDiGraph,
+    NewVertexSpec,
+    fresh_rebuild,
+)
 from repro.graph.digraph import CSRView, DiGraph
 from repro.graph.generators import (
     NY_CUTS,
@@ -35,6 +42,12 @@ __all__ = [
     "DiGraph",
     "CSRView",
     "GraphBuilder",
+    "csr_arrays_from_edges",
+    "GraphDelta",
+    "DeltaResult",
+    "MutableDiGraph",
+    "NewVertexSpec",
+    "fresh_rebuild",
     "new_york_districts",
     "NY_CUTS",
     "NY_DISTRICT_NAMES",

@@ -13,7 +13,28 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 
-__all__ = ["GraphBuilder"]
+__all__ = ["GraphBuilder", "csr_arrays_from_edges"]
+
+
+def csr_arrays_from_edges(
+    src: np.ndarray, dst: np.ndarray, weights: np.ndarray, num_vertices: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical CSR arrays from an edge list: ``(indptr, indices, weights)``.
+
+    Edges are ordered by ``(src, dst)`` lexicographically.  This is *the*
+    construction every CSR producer shares (:meth:`GraphBuilder.build`, the
+    churn layer's :meth:`~repro.graph.delta.MutableDiGraph.flush` rebuild
+    and its :func:`~repro.graph.delta.fresh_rebuild` oracle), so a rebuilt
+    graph is array-for-array identical to fresh construction by design
+    rather than by parallel-maintained copies.
+    """
+    n = int(num_vertices)
+    order = np.lexsort((dst, src)) if src.size else np.empty(0, dtype=np.int64)
+    src, dst, weights = src[order], dst[order], weights[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if src.size:
+        indptr[1:] = np.cumsum(np.bincount(src, minlength=n))
+    return indptr, dst, weights
 
 
 class GraphBuilder:
@@ -121,12 +142,7 @@ class GraphBuilder:
             keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
             src, dst, w = src[keep], dst[keep], w[keep]
 
-        order = np.lexsort((dst, src)) if src.size else np.empty(0, dtype=np.int64)
-        src, dst, w = src[order], dst[order], w[order]
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        if src.size:
-            counts = np.bincount(src, minlength=n)
-            indptr[1:] = np.cumsum(counts)
+        indptr, dst, w = csr_arrays_from_edges(src, dst, w, n)
 
         coords: Optional[np.ndarray] = None
         if self._coords:

@@ -8,8 +8,10 @@ footprint even for the GY-scale graphs.
 
 Both the out-adjacency (for message sending) and the in-adjacency (for
 reverse traversals and some analytics) are materialised.  The graph is
-immutable after construction; mutation happens through
-:class:`repro.graph.builder.GraphBuilder`.
+immutable after construction; bulk construction happens through
+:class:`repro.graph.builder.GraphBuilder`, and streaming topology mutation
+through the :class:`repro.graph.delta.MutableDiGraph` subclass (batched
+deltas with periodic CSR rebuilds).
 
 Vertices are dense integer ids ``0 .. n-1``.  Optional per-vertex attributes
 used by the reproduction:
@@ -144,15 +146,9 @@ class DiGraph:
             return rindptr, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         counts = np.bincount(self._indices, minlength=n)
         rindptr[1:] = np.cumsum(counts)
-        rindices = np.empty(m, dtype=np.int64)
-        rweights = np.empty(m, dtype=np.float64)
-        cursor = rindptr[:-1].copy()
         sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
         order = np.argsort(self._indices, kind="stable")
-        rindices[:] = sources[order]
-        rweights[:] = self._weights[order]
-        del cursor  # cursor-based fill replaced by the argsort strategy above
-        return rindptr, rindices, rweights
+        return rindptr, sources[order], self._weights[order]
 
     # ------------------------------------------------------------------
     # basic properties

@@ -8,7 +8,7 @@ from repro.partitioning.domain_partitioner import (
 )
 from repro.partitioning.fennel import FennelPartitioner
 from repro.partitioning.hash_partitioner import HashPartitioner
-from repro.partitioning.ldg import LdgPartitioner
+from repro.partitioning.ldg import LdgPartitioner, ldg_place_vertices
 
 __all__ = [
     "Partitioner",
@@ -17,6 +17,7 @@ __all__ = [
     "DomainPartitioner",
     "group_cities_geographically",
     "LdgPartitioner",
+    "ldg_place_vertices",
     "FennelPartitioner",
     "BfsRegionPartitioner",
 ]

@@ -28,7 +28,53 @@ import numpy as np
 from repro.graph.digraph import DiGraph
 from repro.partitioning.base import Partitioner, iter_neighbor_chunks
 
-__all__ = ["LdgPartitioner"]
+__all__ = ["LdgPartitioner", "ldg_place_vertices"]
+
+
+def ldg_place_vertices(
+    graph: DiGraph,
+    new_ids: np.ndarray,
+    assignment: np.ndarray,
+    k: int,
+    slack: float = 0.1,
+) -> np.ndarray:
+    """Streaming LDG placement of vertices appended to a running system.
+
+    This is the incremental form of :class:`LdgPartitioner`: the existing
+    ``assignment`` fixes the partitions, and each new vertex (in id order —
+    its arrival order in the graph stream) goes to the partition maximising
+    ``|N(v) ∩ P_i| * (1 - |P_i| / C)`` with the same deterministic
+    tie-breaks, where ``N(v)`` is the undirected neighbourhood already
+    materialised in the graph.  Earlier new vertices count as placed when
+    scoring later ones.  Returns the owner of each id in ``new_ids``.
+    """
+    new_ids = np.asarray(new_ids, dtype=np.int64)
+    sizes = np.bincount(assignment, minlength=k)[:k].astype(np.int64)
+    total = assignment.size + new_ids.size
+    capacity = (1.0 + slack) * total / k if total else 1.0
+    combined = np.full(graph.num_vertices, -1, dtype=np.int64)
+    combined[: assignment.size] = assignment
+    placed = np.empty(new_ids.size, dtype=np.int64)
+    for i, v in enumerate(new_ids):
+        neighbors = np.concatenate(
+            [graph.out_neighbors(int(v)), graph.in_neighbors(int(v))]
+        )
+        owners = combined[neighbors] if neighbors.size else np.empty(0, np.int64)
+        neighbor_counts = np.bincount(
+            owners[owners >= 0], minlength=k
+        ).astype(np.float64)[:k]
+        penalty = 1.0 - sizes / capacity
+        scores = neighbor_counts * np.maximum(penalty, 0.0)
+        best = np.flatnonzero(scores == scores.max())
+        if best.size > 1:
+            best = best[np.argsort(sizes[best], kind="stable")]
+        choice = int(best[0])
+        if sizes[choice] >= capacity:
+            choice = int(np.argmin(sizes))
+        combined[v] = choice
+        placed[i] = choice
+        sizes[choice] += 1
+    return placed
 
 
 class LdgPartitioner(Partitioner):

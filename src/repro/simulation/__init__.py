@@ -3,7 +3,12 @@
 from repro.simulation.cluster import C1_NODE, ClusterSpec, M1, M2, MachineProfile, make_cluster
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.network import NetworkModel, ethernet_1g, loopback_tcp, zero_cost
-from repro.simulation.tracing import MetricsTrace, QueryRecord, RepartitionRecord
+from repro.simulation.tracing import (
+    GraphChurnRecord,
+    MetricsTrace,
+    QueryRecord,
+    RepartitionRecord,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -21,4 +26,5 @@ __all__ = [
     "MetricsTrace",
     "QueryRecord",
     "RepartitionRecord",
+    "GraphChurnRecord",
 ]

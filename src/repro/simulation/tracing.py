@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["QueryRecord", "RepartitionRecord", "MetricsTrace"]
+__all__ = ["QueryRecord", "RepartitionRecord", "GraphChurnRecord", "MetricsTrace"]
 
 
 @dataclass
@@ -69,6 +69,24 @@ class RepartitionRecord:
     stall_duration: float = float("nan")
 
 
+@dataclass(frozen=True)
+class GraphChurnRecord:
+    """One applied graph-stream churn epoch (a flushed topology delta)."""
+
+    time: float
+    inserted_edges: int = 0
+    deleted_edges: int = 0
+    updated_weights: int = 0
+    added_vertices: int = 0
+    removed_vertices: int = 0
+    #: mutations the tolerant application skipped (already-absent edges,
+    #: edges wired to since-removed vertices, ...)
+    skipped_mutations: int = 0
+    #: in-flight next-iteration messages dropped because their target
+    #: vertex was tombstoned
+    dropped_messages: int = 0
+
+
 @dataclass
 class MetricsTrace:
     """Mutable metrics sink passed through the engine."""
@@ -76,6 +94,7 @@ class MetricsTrace:
     workload_bucket: float = 10.0
     queries: Dict[int, QueryRecord] = field(default_factory=dict)
     repartitions: List[RepartitionRecord] = field(default_factory=list)
+    churn_events: List[GraphChurnRecord] = field(default_factory=list)
     local_messages: int = 0
     remote_messages: int = 0
     remote_batches: int = 0
@@ -108,6 +127,9 @@ class MetricsTrace:
 
     def repartitioned(self, record: RepartitionRecord) -> None:
         self.repartitions.append(record)
+
+    def graph_updated(self, record: GraphChurnRecord) -> None:
+        self.churn_events.append(record)
 
     # ------------------------------------------------------------------
     # aggregations used by the benchmark harness
@@ -221,22 +243,35 @@ class MetricsTrace:
         Imbalance of a bucket is the mean absolute deviation of the per-worker
         vertex-execution counts from their mean, relative to the mean —
         "a worker's deviation from the average workload" (§4.2).
+
+        One ``bincount`` scatter over the ``(worker, bucket)`` keys builds
+        the dense bucket × worker load matrix, replacing the former
+        per-bucket rescan of the whole dict (O(buckets × workers) lookups).
         """
         if not self._workload:
             return np.empty(0), np.empty(0)
-        buckets = sorted({b for (_, b) in self._workload})
-        times, values = [], []
-        for b in buckets:
-            loads = np.array(
-                [self._workload.get((w, b), 0) for w in range(num_workers)],
-                dtype=np.float64,
-            )
-            mean = loads.mean()
-            if mean <= 0:
-                continue
-            times.append((b + 1) * self.workload_bucket)
-            values.append(float(np.mean(np.abs(loads - mean)) / mean))
-        return np.asarray(times), np.asarray(values)
+        keys = np.fromiter(
+            (k for pair in self._workload for k in pair),
+            dtype=np.int64,
+            count=2 * len(self._workload),
+        ).reshape(-1, 2)
+        workers = keys[:, 0]
+        buckets = keys[:, 1]
+        counts = np.fromiter(
+            self._workload.values(), dtype=np.float64, count=len(self._workload)
+        )
+        uniq_buckets, bucket_idx = np.unique(buckets, return_inverse=True)
+        in_range = workers < num_workers
+        loads = np.bincount(
+            bucket_idx[in_range] * num_workers + workers[in_range],
+            weights=counts[in_range],
+            minlength=uniq_buckets.size * num_workers,
+        ).reshape(uniq_buckets.size, num_workers)
+        means = loads.mean(axis=1)
+        keep = means > 0
+        deviation = np.abs(loads[keep] - means[keep, None]).mean(axis=1)
+        times = (uniq_buckets[keep] + 1).astype(np.float64) * self.workload_bucket
+        return times, deviation / means[keep]
 
     def mean_workload_imbalance(self, num_workers: int) -> float:
         """Run-average of :meth:`workload_imbalance_series`."""

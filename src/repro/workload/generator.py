@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.engine.query import Query
 from repro.errors import WorkloadError
+from repro.graph.delta import GraphDelta, NewVertexSpec
 from repro.graph.road_network import RoadNetwork
 from repro.queries.bfs import BfsProgram
 from repro.queries.khop import KHopProgram
@@ -64,6 +65,16 @@ _KIND_ALIASES: Dict[str, str] = {
 }
 
 _ARRIVALS = ("batch", "poisson", "burst")
+
+#: churn-op mix of the graph-stream process: traffic-induced weight changes
+#: dominate, road closures and new segments are rarer, junction churn rarest
+_CHURN_OPS: Tuple[Tuple[str, float], ...] = (
+    ("reweight", 0.45),
+    ("close", 0.20),
+    ("open", 0.15),
+    ("add_vertex", 0.12),
+    ("remove_vertex", 0.08),
+)
 
 #: id-namespace stride: generator ``namespace`` *n* numbers its queries from
 #: ``n * 1_000_000`` (far above any realistic per-generator query count)
@@ -122,6 +133,20 @@ class PhaseSpec:
         Hop budget for bounded kinds — ``k`` for khop, ``max_hops`` for
         wcc_local, ``max_depth`` for bfs (``None`` leaves bfs unbounded;
         khop/wcc_local default to 2).
+    churn_rate:
+        Graph-churn events per virtual second during the phase (a Poisson
+        process on its own RNG stream — adding churn never perturbs the
+        query endpoint or arrival draws).  Each event is one
+        :class:`~repro.graph.delta.GraphDelta` of ``churn_batch`` topology
+        mutations drawn from the road-authority mix: traffic reweights,
+        road closures, new segments, junction additions and removals.
+    churn_batch:
+        Topology mutations bundled into each churn event.
+    churn_span:
+        Virtual-time horizon of the churn process after ``arrival_offset``.
+        Required (> 0) for ``batch`` arrivals, whose queries give the phase
+        no intrinsic duration; for ``poisson``/``burst`` it defaults to the
+        arrival span when 0.
     """
 
     num_queries: int
@@ -135,6 +160,9 @@ class PhaseSpec:
     burst_size: int = 16
     burst_gap: float = 0.0
     depth: Optional[int] = None
+    churn_rate: float = 0.0
+    churn_batch: int = 4
+    churn_span: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_queries < 0:
@@ -167,25 +195,40 @@ class PhaseSpec:
                 )
         if self.depth is not None and self.depth < 0:
             raise WorkloadError("depth must be non-negative")
+        if self.churn_rate < 0:
+            raise WorkloadError("churn_rate must be non-negative")
+        if self.churn_rate > 0:
+            if self.churn_batch < 1:
+                raise WorkloadError("churn_batch must be >= 1")
+            if self.arrival == "batch" and self.churn_span <= 0:
+                raise WorkloadError(
+                    "batch-arrival phases need churn_span > 0 to give the "
+                    "churn process a horizon"
+                )
 
 
 @dataclass
 class QueryTrace:
-    """A generated workload: (query, arrival time) pairs."""
+    """A generated workload: (query, arrival time) pairs plus the graph
+    stream — (time, :class:`~repro.graph.delta.GraphDelta`) churn events."""
 
     entries: List[Tuple[Query, float]] = field(default_factory=list)
+    churn: List[Tuple[float, GraphDelta]] = field(default_factory=list)
 
     def submit_all(self, engine) -> None:
-        """Feed every query into an engine."""
+        """Feed every query — and every churn event — into an engine."""
         for query, arrival in self.entries:
             engine.submit(query, arrival)
+        for time, delta in self.churn:
+            engine.submit_update(delta, time)
 
     def merge(self, other: "QueryTrace") -> "QueryTrace":
         """Combine two traces (e.g. from different generators) in
         arrival-time order; ids must already be disjoint (use distinct
         ``id_offset`` namespaces)."""
         merged = sorted(self.entries + other.entries, key=lambda e: e[1])
-        return QueryTrace(entries=merged)
+        churn = sorted(self.churn + other.churn, key=lambda e: e[0])
+        return QueryTrace(entries=merged, churn=churn)
 
     @property
     def num_queries(self) -> int:
@@ -217,6 +260,11 @@ class WorkloadGenerator:
         #: separate stream for kind-mix and arrival draws so extending a
         #: phase spec never perturbs the hotspot endpoint sequence
         self._rng = np.random.default_rng([seed, 0x51C])
+        #: the graph-churn stream — again separate, so enabling churn
+        #: leaves both the endpoint and the arrival sequences untouched
+        self._churn_rng = np.random.default_rng([seed, 0xC4C4])
+        #: initial edge arrays for churn-op sampling (built lazily)
+        self._churn_edges: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._next_id = id_offset
 
     def _fresh_id(self) -> int:
@@ -285,6 +333,102 @@ class WorkloadGenerator:
         return t0 + (np.arange(n) // phase.burst_size) * gap
 
     # ------------------------------------------------------------------
+    # graph-churn process
+    # ------------------------------------------------------------------
+    def _initial_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._churn_edges is None:
+            self._churn_edges = self.rn.graph.edge_array()
+        return self._churn_edges
+
+    def _churn_city_vertex(self) -> int:
+        """A population-weighted hotspot vertex on the churn RNG stream.
+
+        Deliberately does *not* go through the sampler (whose RNG feeds the
+        query endpoints) — churn draws must never perturb the workload.
+        """
+        weights = self.rn.population_weights()
+        city = int(self._churn_rng.choice(weights.size, p=weights))
+        ids = self.rn.city_vertices(city)
+        return int(ids[int(self._churn_rng.integers(0, ids.size))])
+
+    def _segment_weight(self, u: int, v: int) -> float:
+        """Travel time for a new urban segment (euclidean at street speed)."""
+        graph = self.rn.graph
+        if graph.has_coords():
+            return float(max(graph.euclidean(u, v) * 2.0, 1e-3))
+        return 1.0
+
+    def _churn_delta(self, batch: int) -> GraphDelta:
+        """One churn event: a batch of mutations against the *initial*
+        topology (application is tolerant of conflicts with earlier events,
+        like a road authority's change feed replayed against a live map)."""
+        rng = self._churn_rng
+        graph = self.rn.graph
+        src, dst, w = self._initial_edges()
+        ops = [name for name, _w in _CHURN_OPS]
+        probs = np.array([p for _n, p in _CHURN_OPS], dtype=np.float64)
+        probs /= probs.sum()
+        delta = GraphDelta()
+        for op_idx in rng.choice(len(ops), size=batch, p=probs):
+            op = ops[int(op_idx)]
+            if op == "reweight" and src.size:
+                e = int(rng.integers(0, src.size))
+                factor = float(rng.uniform(1.5, 4.0))  # traffic slowdown
+                delta.update_weights.append(
+                    (int(src[e]), int(dst[e]), float(w[e]) * factor)
+                )
+            elif op == "close" and src.size:
+                e = int(rng.integers(0, src.size))
+                u, v = int(src[e]), int(dst[e])
+                delta.delete_edges.append((u, v))
+                delta.delete_edges.append((v, u))  # road segments are two-way
+            elif op == "open":
+                u = self._churn_city_vertex()
+                v = self._churn_city_vertex()
+                if u != v:
+                    weight = self._segment_weight(u, v)
+                    delta.insert_edges.append((u, v, weight))
+                    delta.insert_edges.append((v, u, weight))
+            elif op == "add_vertex":
+                a = self._churn_city_vertex()
+                b = self._churn_city_vertex()
+                x = y = None
+                if graph.has_coords():
+                    mid = (graph.coords[a] + graph.coords[b]) / 2.0
+                    jitter = rng.normal(0.0, 0.05, size=2)
+                    x, y = float(mid[0] + jitter[0]), float(mid[1] + jitter[1])
+                edges = [(a, self._segment_weight(a, b) / 2.0 + 1e-3)]
+                if b != a:
+                    edges.append((b, self._segment_weight(a, b) / 2.0 + 1e-3))
+                delta.new_vertices.append(
+                    NewVertexSpec(x=x, y=y, edges=tuple(edges))
+                )
+            elif op == "remove_vertex":
+                delta.remove_vertices.append(self._churn_city_vertex())
+        return delta
+
+    def _phase_churn(
+        self, phase: PhaseSpec, arrivals: np.ndarray
+    ) -> List[Tuple[float, GraphDelta]]:
+        """The phase's churn events: a Poisson process over its span."""
+        if phase.churn_rate <= 0:
+            return []
+        t0 = phase.arrival_offset
+        span = phase.churn_span
+        if span <= 0 and arrivals.size:
+            span = float(arrivals.max()) - t0
+        if span <= 0:
+            return []
+        events: List[Tuple[float, GraphDelta]] = []
+        t = t0
+        while True:
+            t += float(self._churn_rng.exponential(1.0 / phase.churn_rate))
+            if t > t0 + span:
+                break
+            events.append((t, self._churn_delta(phase.churn_batch)))
+        return events
+
+    # ------------------------------------------------------------------
     def generate(self, phases: List[PhaseSpec]) -> QueryTrace:
         """Materialise a multi-phase workload trace."""
         trace = QueryTrace()
@@ -295,6 +439,8 @@ class WorkloadGenerator:
                 trace.entries.append(
                     (self._build_query(self._fresh_id(), kind, phase), float(arrival))
                 )
+            trace.churn.extend(self._phase_churn(phase, arrivals))
+        trace.churn.sort(key=lambda e: e[0])
         return trace
 
     # ------------------------------------------------------------------
@@ -306,8 +452,16 @@ class WorkloadGenerator:
         disturbance_queries: int = 496,
         arrival: str = "batch",
         arrival_rate: float = 0.0,
+        churn_rate: float = 0.0,
+        churn_span: float = 0.0,
+        churn_batch: int = 4,
     ) -> QueryTrace:
-        """§4.2: hotspot SSSP queries followed by an inter-urban disturbance."""
+        """§4.2: hotspot SSSP queries followed by an inter-urban disturbance.
+
+        ``churn_rate > 0`` superimposes the graph-stream churn process on
+        the main phase (the disturbance phase shares the same virtual-time
+        window, so one process covers both).
+        """
         return self.generate(
             [
                 PhaseSpec(
@@ -317,6 +471,9 @@ class WorkloadGenerator:
                     label="intra",
                     arrival=arrival,
                     arrival_rate=arrival_rate,
+                    churn_rate=churn_rate,
+                    churn_span=churn_span,
+                    churn_batch=churn_batch,
                 ),
                 PhaseSpec(
                     num_queries=disturbance_queries,
@@ -334,6 +491,9 @@ class WorkloadGenerator:
         num_queries: int = 2048,
         arrival: str = "batch",
         arrival_rate: float = 0.0,
+        churn_rate: float = 0.0,
+        churn_span: float = 0.0,
+        churn_batch: int = 4,
     ) -> QueryTrace:
         """§4.2: POI query workload on hotspots."""
         return self.generate(
@@ -344,6 +504,9 @@ class WorkloadGenerator:
                     label="poi",
                     arrival=arrival,
                     arrival_rate=arrival_rate,
+                    churn_rate=churn_rate,
+                    churn_span=churn_span,
+                    churn_batch=churn_batch,
                 )
             ]
         )
@@ -355,6 +518,9 @@ class WorkloadGenerator:
         arrival: str = "batch",
         arrival_rate: float = 0.0,
         depth: int = 2,
+        churn_rate: float = 0.0,
+        churn_span: float = 0.0,
+        churn_batch: int = 4,
     ) -> QueryTrace:
         """An even blend of all seven query programs on the hotspots."""
         return self.generate(
@@ -367,6 +533,9 @@ class WorkloadGenerator:
                     arrival=arrival,
                     arrival_rate=arrival_rate,
                     depth=depth,
+                    churn_rate=churn_rate,
+                    churn_span=churn_span,
+                    churn_batch=churn_batch,
                 )
             ]
         )

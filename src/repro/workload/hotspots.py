@@ -91,8 +91,12 @@ class HotspotSampler:
             return city_id
         d = np.linalg.norm(self._centers - self._centers[city_id], axis=1)
         d[city_id] = np.inf
+        # only finite-distance entries are candidates: the self city's inf
+        # sentinel must not survive into the top-3 slice on small maps
+        # (with <= 3 cities it used to, silently sampling the same city)
         order = np.argsort(d)
-        top = order[: min(3, len(order))]
+        order = order[np.isfinite(d[order])]
+        top = order[: min(3, order.size)]
         return int(top[int(self.rng.integers(0, top.size))])
 
     # ------------------------------------------------------------------

@@ -89,15 +89,34 @@ class TestQueryMonitor:
         m = QueryMonitor()
         assert m.average_locality() == 1.0
 
-    def test_window_eviction_only_finished(self):
+    def test_window_eviction_covers_idle_running(self):
+        """A long-running query idle past the window is evicted too — it
+        used to be pinned forever (leaking its scope-store entry), which
+        becomes a real leak once graph churn can delete its vertices."""
         m = QueryMonitor(window=10.0)
         m.record_start(1, 0.0)
         m.record_iteration(1, 1, 0.0)
         m.record_finish(1, 1.0)
-        m.record_start(2, 0.0)  # never finishes
+        m.record_start(2, 0.0)  # never finishes, never reports again
         evicted = m.evict_stale(now=50.0)
-        assert evicted == [1]
-        assert m.tracked_queries() == [2]
+        assert sorted(evicted) == [1, 2]
+        assert m.tracked_queries() == []
+
+    def test_window_eviction_keeps_active_running(self):
+        m = QueryMonitor(window=10.0)
+        m.record_start(1, 0.0)
+        m.record_iteration(1, 2, 45.0)  # recent activity keeps it tracked
+        m.record_start(2, 0.0)  # idle running: evicted
+        assert m.evict_stale(now=50.0) == [2]
+        assert m.tracked_queries() == [1]
+
+    def test_window_evicted_running_query_is_retracked_on_report(self):
+        m = QueryMonitor(window=10.0)
+        m.record_start(1, 0.0)
+        assert m.evict_stale(now=50.0) == [1]
+        m.record_iteration(1, 1, 51.0)  # late report re-tracks from scratch
+        stats = m.stats(1)
+        assert stats is not None and stats.iterations == 1
 
     def test_recent_finished_not_evicted(self):
         m = QueryMonitor(window=10.0)

@@ -1,0 +1,363 @@
+"""Engine-level graph-churn invariants.
+
+The contract of the mutation subsystem:
+
+* **zero-churn identity** — running on a :class:`MutableDiGraph` with no
+  churn events is event-for-event identical to running on the plain
+  immutable :class:`DiGraph` (the whole subsystem is dormant);
+* **epoch equivalence** — after every applied churn epoch the engine's
+  graph equals a fresh CSR construction from the same edge list;
+* **isolation** — queries whose scopes never touch the churned region
+  return exactly the answers of a churn-free run;
+* **composability** — churn completes and stays consistent under both
+  ``repartition_mode``\\s, all four admission schedulers, both execution
+  paths and all three sync modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import Controller, ControllerConfig
+from repro.core.scopes import ScopeStore
+from repro.engine.barriers import SyncMode
+from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.errors import EngineError
+from repro.graph import (
+    DiGraph,
+    GraphBuilder,
+    GraphDelta,
+    MutableDiGraph,
+    NewVertexSpec,
+    fresh_rebuild,
+    grid_graph,
+)
+from repro.graph.road_network import generate_road_network
+from repro.partitioning import HashPartitioner
+from repro.queries.sssp import SsspProgram
+from repro.engine.query import Query
+from repro.simulation.cluster import make_cluster
+from repro.workload.generator import PhaseSpec, WorkloadGenerator
+
+
+def _controller_config(**overrides):
+    base = dict(
+        mu=0.5,
+        phi=0.9,
+        delta=0.25,
+        max_tracked_queries=64,
+        qcut_compute_time=0.002,
+        qcut_cooldown=0.01,
+        min_queries_for_qcut=6,
+        ils_rounds=30,
+        seed=0,
+    )
+    base.update(overrides)
+    return ControllerConfig(**base)
+
+
+def _road_network():
+    return generate_road_network(
+        num_cities=4,
+        num_urban_vertices=1200,
+        seed=13,
+        region_size=60.0,
+        zipf_exponent=0.5,
+    )
+
+
+def _build_engine(
+    graph,
+    k=4,
+    adaptive=True,
+    use_kernels=True,
+    sync_mode=SyncMode.HYBRID,
+    repartition_mode="global",
+    scheduler="fifo",
+):
+    assignment = HashPartitioner(seed=0).partition(graph, k)
+    controller = Controller(k, _controller_config())
+    return QGraphEngine(
+        graph,
+        make_cluster("M2", k),
+        assignment,
+        controller=controller,
+        config=EngineConfig(
+            adaptive=adaptive,
+            use_kernels=use_kernels,
+            sync_mode=sync_mode,
+            repartition_mode=repartition_mode,
+            scheduler=scheduler,
+        ),
+    )
+
+
+def _fingerprint(engine, trace):
+    return (
+        {
+            qid: (r.start_time, r.end_time, r.iterations, r.local_iterations)
+            for qid, r in trace.queries.items()
+        },
+        [(r.time, r.moved_vertices, r.num_moves) for r in trace.repartitions],
+        trace.local_messages,
+        trace.remote_messages,
+        trace.remote_batches,
+        trace.barrier_acks,
+        trace.barrier_releases,
+        engine._events_processed,
+    )
+
+
+def _run(graph, churn=(), **engine_kwargs):
+    rn = _road_network()
+    engine = _build_engine(graph, **engine_kwargs)
+    workload = WorkloadGenerator(rn, seed=5).generate(
+        [PhaseSpec(num_queries=48, kind="sssp", label="churn")]
+    )
+    workload.submit_all(engine)
+    for time, delta in churn:
+        engine.submit_update(delta, time)
+    trace = engine.run()
+    results = {
+        q.query_id: engine.query_result(q.query_id) for q in workload.queries()
+    }
+    return engine, trace, results
+
+
+class TestSubmitUpdate:
+    def test_requires_mutable_graph(self):
+        g = grid_graph(4, 4)
+        engine = _build_engine(g, k=2)
+        with pytest.raises(EngineError, match="MutableDiGraph"):
+            engine.submit_update(GraphDelta(delete_edges=[(0, 1)]))
+
+
+class TestZeroChurnIdentity:
+    @pytest.mark.parametrize(
+        "sync_mode",
+        [SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY, SyncMode.SHARED_BSP],
+    )
+    def test_mutable_graph_without_churn_is_identical(self, sync_mode):
+        rn = _road_network()
+        plain = rn.graph
+        wrapped = MutableDiGraph.from_digraph(plain)
+        e1, t1, r1 = _run(plain, sync_mode=sync_mode)
+        e2, t2, r2 = _run(wrapped, sync_mode=sync_mode)
+        assert _fingerprint(e1, t1) == _fingerprint(e2, t2)
+        assert r1 == r2
+        assert not t2.churn_events
+
+    def test_mutable_graph_without_churn_identical_partial_mode(self):
+        rn = _road_network()
+        e1, t1, r1 = _run(rn.graph, repartition_mode="partial")
+        e2, t2, r2 = _run(
+            MutableDiGraph.from_digraph(rn.graph), repartition_mode="partial"
+        )
+        assert _fingerprint(e1, t1) == _fingerprint(e2, t2)
+        assert r1 == r2
+
+
+def _generated_churn(rn, rate=60.0, span=0.4, seed=5, num_queries=48):
+    """Workload + churn from the generator (the production path)."""
+    wg = WorkloadGenerator(rn, seed=seed)
+    return wg.generate(
+        [
+            PhaseSpec(
+                num_queries=num_queries,
+                kind="sssp",
+                label="churn",
+                churn_rate=rate,
+                churn_span=span,
+            )
+        ]
+    )
+
+
+class TestChurnExecution:
+    @pytest.mark.parametrize("repartition_mode", ["global", "partial"])
+    @pytest.mark.parametrize(
+        "scheduler", ["fifo", "locality", "shortest_scope", "phase_round_robin"]
+    )
+    def test_churn_completes_under_all_modes(self, repartition_mode, scheduler):
+        rn = _road_network()
+        graph = MutableDiGraph.from_digraph(rn.graph)
+        engine = _build_engine(
+            graph, repartition_mode=repartition_mode, scheduler=scheduler
+        )
+        workload = _generated_churn(rn)
+        assert workload.churn, "churn process produced no events"
+        workload.submit_all(engine)
+        trace = engine.run()
+        assert len(trace.finished_queries()) == 48
+        assert trace.churn_events, "no churn epoch was applied"
+        # every applied epoch left the CSR equivalent to fresh construction
+        fresh = fresh_rebuild(graph)
+        assert np.array_equal(graph.indptr, fresh.indptr)
+        assert np.array_equal(graph.indices, fresh.indices)
+        assert np.array_equal(graph.weights, fresh.weights)
+        # assignment covers every vertex including churn-added ones
+        assert engine.assignment.size == graph.num_vertices
+        assert engine.assignment.min() >= 0
+
+    @pytest.mark.parametrize(
+        "sync_mode",
+        [SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY, SyncMode.SHARED_BSP],
+    )
+    def test_churn_completes_under_sync_modes(self, sync_mode):
+        rn = _road_network()
+        graph = MutableDiGraph.from_digraph(rn.graph)
+        engine = _build_engine(graph, sync_mode=sync_mode)
+        workload = _generated_churn(rn)
+        workload.submit_all(engine)
+        trace = engine.run()
+        assert len(trace.finished_queries()) == 48
+        assert trace.churn_events
+
+    def test_churn_completes_generic_path(self):
+        rn = _road_network()
+        graph = MutableDiGraph.from_digraph(rn.graph)
+        engine = _build_engine(graph, use_kernels=False)
+        workload = _generated_churn(rn)
+        workload.submit_all(engine)
+        trace = engine.run()
+        assert len(trace.finished_queries()) == 48
+        assert trace.churn_events
+
+    def test_vertex_growth_mid_query(self):
+        """New vertices appear while queries run: dense kernel buffers grow
+        and the LDG placement extends the assignment deterministically."""
+        rn = _road_network()
+        graph = MutableDiGraph.from_digraph(rn.graph)
+        n0 = graph.num_vertices
+        engine = _build_engine(graph, adaptive=False)
+        workload = WorkloadGenerator(rn, seed=5).generate(
+            [PhaseSpec(num_queries=24, kind="sssp")]
+        )
+        workload.submit_all(engine)
+        delta = GraphDelta(
+            new_vertices=[
+                NewVertexSpec(x=0.0, y=0.0, edges=((0, 1.0), (1, 1.0)))
+                for _ in range(5)
+            ]
+        )
+        engine.submit_update(delta, 0.0005)
+        trace = engine.run()
+        assert graph.num_vertices == n0 + 5
+        assert engine.assignment.size == n0 + 5
+        assert len(trace.finished_queries()) == 24
+        # grown kernel buffers cover the new id range
+        for qr in engine.runtimes.values():
+            if qr.scope_mask is not None:
+                assert qr.scope_mask.size == n0 + 5
+
+
+class TestChurnIsolation:
+    """Deleting edges in one component must not change answers in another."""
+
+    def _two_component_graph(self):
+        # component A: 4x4 grid (ids 0..15); component B: 4x4 grid (16..31)
+        b = GraphBuilder(32)
+        for comp in (0, 16):
+            for r in range(4):
+                for c in range(4):
+                    v = comp + r * 4 + c
+                    if c < 3:
+                        b.add_bidirectional_edge(v, v + 1, 1.0)
+                    if r < 3:
+                        b.add_bidirectional_edge(v, v + 4, 1.0)
+        return b.build(name="two-comp")
+
+    def test_untouched_queries_identical_answers(self):
+        base = self._two_component_graph()
+        queries = [
+            Query(query_id=i, program=SsspProgram(start=i), initial_vertices=(i,))
+            for i in range(4)  # all in component A
+        ]
+
+        def run(churn):
+            graph = MutableDiGraph.from_digraph(base)
+            engine = _build_engine(graph, k=2, adaptive=False)
+            for q in queries:
+                engine.submit(q, 0.0)
+            for time, delta in churn:
+                engine.submit_update(delta, time)
+            engine.run()
+            return {q.query_id: engine.query_result(q.query_id) for q in queries}
+
+        quiet = run([])
+        # churn B's edges mid-run (several small epochs)
+        churn = [
+            (1e-6 * (i + 1), GraphDelta(delete_edges=[(16 + i, 17 + i), (17 + i, 16 + i)]))
+            for i in range(3)
+        ] + [(2e-6, GraphDelta(remove_vertices=[31]))]
+        noisy = run(churn)
+        assert quiet == noisy
+
+    def test_deleted_vertex_messages_are_purged(self):
+        """Next-iteration messages to a tombstoned vertex are dropped and
+        the wave routes around / dies there."""
+        base = self._two_component_graph()
+        graph = MutableDiGraph.from_digraph(base)
+        engine = _build_engine(graph, k=2, adaptive=False)
+        engine.submit(
+            Query(query_id=0, program=SsspProgram(start=16), initial_vertices=(16,)),
+            0.0,
+        )
+        # remove a vertex of component B early, while the wave spreads
+        engine.submit_update(GraphDelta(remove_vertices=[21]), 1e-6)
+        engine.run()
+        distances = engine.query_result(0)["distances"]
+        # distances that avoid 21 are still correct: 16 -> 18 via row edges
+        assert distances[18] == 2.0
+        churn = engine.trace.churn_events
+        assert churn and churn[0].removed_vertices == 1
+
+
+class TestControllerChurnHygiene:
+    def test_scope_store_truncated_on_removal(self):
+        controller = Controller(2, _controller_config())
+        controller.on_query_started(1, 0.0)
+        controller.on_iteration(1, 1, [3, 4, 5], 0.0)
+        assert controller.scopes.global_scope(1) == {3, 4, 5}
+        controller.on_graph_mutation([4])
+        assert controller.scopes.global_scope(1) == {3, 5}
+        # late activation reports of dead ids are filtered too
+        controller.on_iteration(1, 1, [4, 6], 0.001)
+        assert controller.scopes.global_scope(1) == {3, 5, 6}
+
+    def test_scope_store_pending_buffers_truncated(self):
+        store = ScopeStore()
+        store.add_activations(7, [1, 2, 3])
+        _ = store.scope_array(7)  # consolidate
+        store.add_activations(7, [4, 5])  # sits in the pending buffer
+        store.remove_vertices(np.array([2, 5]))
+        assert store.global_scope(7) == {1, 3, 4}
+
+    def test_snapshots_never_plan_moves_of_dead_ids(self):
+        rn = _road_network()
+        graph = MutableDiGraph.from_digraph(rn.graph)
+        engine = _build_engine(graph, adaptive=True)
+        workload = _generated_churn(rn, rate=120.0, span=0.4)
+        workload.submit_all(engine)
+        engine.run()
+        if not engine.trace.repartitions:
+            pytest.skip("instance did not repartition")
+        dead = np.flatnonzero(graph.dead_mask)
+        # the scope store holds no dead ids after the run
+        store = engine.controller.scopes
+        for qid in store.queries():
+            scope = store.scope_array(qid)
+            assert not np.isin(scope, dead).any()
+
+    def test_place_new_vertices_prefers_neighbour_partition(self):
+        b = GraphBuilder(6)
+        b.add_bidirectional_edge(0, 1, 1.0)
+        b.add_bidirectional_edge(2, 3, 1.0)
+        g = MutableDiGraph.from_digraph(b.build())
+        g.add_vertex(NewVertexSpec(edges=((0, 1.0), (1, 1.0))))
+        g.flush()
+        controller = Controller(2, _controller_config())
+        assignment = np.array([0, 0, 1, 1, 0, 1], dtype=np.int64)
+        owners = controller.place_new_vertices(
+            g, np.array([6], dtype=np.int64), assignment
+        )
+        assert owners.tolist() == [0]  # both neighbours live on worker 0

@@ -286,3 +286,62 @@ class TestWindowedSeriesEquivalence:
         t = MetricsTrace()
         times, values = t.latency_series(1.0)
         assert times.size == 0 and values.size == 0
+
+
+class TestImbalanceSeriesEquivalence:
+    """The one-bincount imbalance series must match the former per-bucket
+    dict rescan (replaced for being O(buckets x workers) dict lookups)."""
+
+    @staticmethod
+    def _reference(trace, num_workers):
+        """The pre-vectorization loop, verbatim."""
+        if not trace._workload:
+            return np.empty(0), np.empty(0)
+        buckets = sorted({b for (_, b) in trace._workload})
+        times, values = [], []
+        for b in buckets:
+            loads = np.array(
+                [trace._workload.get((w, b), 0) for w in range(num_workers)],
+                dtype=np.float64,
+            )
+            mean = loads.mean()
+            if mean <= 0:
+                continue
+            times.append((b + 1) * trace.workload_bucket)
+            values.append(float(np.mean(np.abs(loads - mean)) / mean))
+        return np.asarray(times), np.asarray(values)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_workers", [1, 4, 8])
+    def test_matches_reference(self, seed, num_workers):
+        rng = np.random.default_rng(seed)
+        t = MetricsTrace(workload_bucket=0.5)
+        for _ in range(300):
+            worker = int(rng.integers(0, num_workers))
+            time = float(rng.uniform(0.0, 20.0))
+            t.vertices_executed(worker, time, int(rng.integers(1, 50)))
+        ref_times, ref_vals = self._reference(t, num_workers)
+        vec_times, vec_vals = t.workload_imbalance_series(num_workers)
+        np.testing.assert_allclose(vec_times, ref_times)
+        np.testing.assert_allclose(vec_vals, ref_vals)
+
+    def test_sparse_buckets_match_reference(self):
+        t = MetricsTrace(workload_bucket=1.0)
+        t.vertices_executed(0, 0.5, 10)     # bucket 0, only worker 0
+        t.vertices_executed(2, 100.5, 30)   # distant bucket, only worker 2
+        ref = self._reference(t, 4)
+        vec = t.workload_imbalance_series(4)
+        np.testing.assert_allclose(vec[0], ref[0])
+        np.testing.assert_allclose(vec[1], ref[1])
+
+    def test_empty_matches_reference(self):
+        t = MetricsTrace()
+        times, vals = t.workload_imbalance_series(3)
+        assert times.size == 0 and vals.size == 0
+
+    def test_mean_imbalance_unchanged(self):
+        t = MetricsTrace(workload_bucket=1.0)
+        t.vertices_executed(0, 0.5, 100)
+        t.vertices_executed(1, 1.5, 100)
+        ref_times, ref_vals = self._reference(t, 2)
+        assert t.mean_workload_imbalance(2) == pytest.approx(float(ref_vals.mean()))

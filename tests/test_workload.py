@@ -78,6 +78,29 @@ class TestHotspotSampler:
             all_d[city] = np.inf
             assert d <= np.sort(all_d)[2] + 1e-9  # among 3 nearest
 
+    @pytest.mark.parametrize("num_cities", [2, 3])
+    def test_neighboring_city_distinct_on_small_maps(self, num_cities):
+        """Regression: with <= 3 cities the self city's inf-distance entry
+        used to survive the top-3 slice, so the Fig. 5 'inter-urban'
+        disturbance silently sampled the same city."""
+        small = generate_road_network(
+            num_cities=num_cities,
+            num_urban_vertices=120,
+            seed=3,
+            region_size=30.0,
+        )
+        sampler = HotspotSampler(small, seed=1)
+        for city in range(num_cities):
+            for _ in range(25):
+                assert sampler.neighboring_city(city) != city
+
+    def test_neighboring_city_single_city_map(self):
+        lone = generate_road_network(
+            num_cities=1, num_urban_vertices=80, seed=3, region_size=20.0
+        )
+        sampler = HotspotSampler(lone, seed=1)
+        assert sampler.neighboring_city(0) == 0  # nothing else to pick
+
     def test_validation(self, rn):
         with pytest.raises(WorkloadError):
             HotspotSampler(rn, concentration=0.0)
@@ -315,3 +338,84 @@ class TestIdNamespaces:
             WorkloadGenerator(rn, id_offset=-1)
         with pytest.raises(WorkloadError):
             namespaced_id_offset(-2)
+
+
+class TestChurnProcess:
+    def test_zero_churn_produces_no_events(self, rn):
+        trace = WorkloadGenerator(rn, seed=6).generate([PhaseSpec(num_queries=5)])
+        assert trace.churn == []
+
+    def test_churn_events_within_span(self, rn):
+        trace = WorkloadGenerator(rn, seed=6).generate(
+            [
+                PhaseSpec(
+                    num_queries=5,
+                    arrival_offset=1.0,
+                    churn_rate=50.0,
+                    churn_span=0.5,
+                )
+            ]
+        )
+        assert trace.churn, "expected churn events at rate 50/s over 0.5s"
+        times = [t for t, _d in trace.churn]
+        assert all(1.0 < t <= 1.5 for t in times)
+        assert times == sorted(times)
+        assert all(delta.num_mutations > 0 for _t, delta in trace.churn)
+
+    def test_churn_does_not_perturb_endpoints_or_arrivals(self, rn):
+        """Enabling churn must change neither the query endpoints nor the
+        arrival times (the churn process has its own RNG stream)."""
+        quiet = WorkloadGenerator(rn, seed=6).generate(
+            [PhaseSpec(num_queries=10, arrival="poisson", arrival_rate=10.0)]
+        )
+        churny = WorkloadGenerator(rn, seed=6).generate(
+            [
+                PhaseSpec(
+                    num_queries=10,
+                    arrival="poisson",
+                    arrival_rate=10.0,
+                    churn_rate=20.0,
+                )
+            ]
+        )
+        assert [
+            (q.initial_vertices, t) for q, t in quiet.entries
+        ] == [(q.initial_vertices, t) for q, t in churny.entries]
+        assert churny.churn
+
+    def test_churn_deterministic(self, rn):
+        spec = PhaseSpec(num_queries=4, churn_rate=30.0, churn_span=0.4)
+        a = WorkloadGenerator(rn, seed=6).generate([spec])
+        b = WorkloadGenerator(rn, seed=6).generate([spec])
+        assert [t for t, _ in a.churn] == [t for t, _ in b.churn]
+        for (_, da), (_, db) in zip(a.churn, b.churn):
+            assert da.insert_edges == db.insert_edges
+            assert da.delete_edges == db.delete_edges
+            assert da.update_weights == db.update_weights
+            assert da.remove_vertices == db.remove_vertices
+
+    def test_merge_combines_churn_sorted(self, rn):
+        a = WorkloadGenerator(rn, seed=0, id_offset=namespaced_id_offset(0)).generate(
+            [PhaseSpec(num_queries=2, churn_rate=30.0, churn_span=0.3)]
+        )
+        b = WorkloadGenerator(rn, seed=1, id_offset=namespaced_id_offset(1)).generate(
+            [PhaseSpec(num_queries=2, churn_rate=30.0, churn_span=0.3)]
+        )
+        merged = a.merge(b)
+        times = [t for t, _ in merged.churn]
+        assert times == sorted(times)
+        assert len(merged.churn) == len(a.churn) + len(b.churn)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, churn_rate=-1.0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(num_queries=1, churn_rate=1.0)  # batch needs a span
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                num_queries=1, churn_rate=1.0, churn_span=1.0, churn_batch=0
+            )
+        # poisson arrivals derive the span from the arrivals themselves
+        PhaseSpec(
+            num_queries=1, churn_rate=1.0, arrival="poisson", arrival_rate=5.0
+        )

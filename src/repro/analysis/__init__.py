@@ -1,0 +1,56 @@
+"""``repro-lint`` — simulation-safety static analysis for the Q-graph repo.
+
+The reproduction's correctness claims rest on invariants the interpreter
+cannot enforce: deterministic event orderings (no ambient RNG, no wall
+clock in simulated code), lossless STOP/START migration, immutable cached
+CSR views, invariant checks that survive ``python -O``.  This package is
+an AST-based checker that turns those project rules into machine-checked
+lint, the same way race detectors gate concurrent systems.
+
+Layout
+------
+:mod:`repro.analysis.visitor`
+    File loading, suppression-comment handling, the :class:`Rule` base
+    class and the rule registry.
+:mod:`repro.analysis.rules`
+    The built-in rule catalog (see ``docs/analysis.md``).
+:mod:`repro.analysis.reporting`
+    Text and JSON reporters.
+:mod:`repro.analysis.cli`
+    The ``python -m repro.analysis`` entry point.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis            # lint src/ + tests/
+    PYTHONPATH=src python -m repro.analysis --format json src/repro/engine
+
+Suppressing a finding (the reason is mandatory)::
+
+    t0 = time.perf_counter()  # repro-lint: disable=wall-clock -- bench harness timing
+"""
+
+from repro.analysis.visitor import (
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+from repro.analysis.reporting import render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,93 @@
+"""Command-line front end: ``python -m repro.analysis [paths...]``.
+
+With no paths, lints ``src/`` and ``tests/`` relative to the current
+directory (the repo-root CI invocation).  Exit status is the number of
+files with findings capped at 1 — i.e. 0 when clean, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.visitor import all_rules, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Simulation-safety static analysis for the Q-graph repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            roles = ",".join(rule.roles)
+            print(f"{name:<22} [{roles}] {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(p) for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print(
+                "repro-lint: none of the default paths "
+                f"{DEFAULT_PATHS} exist under {Path.cwd()}",
+                file=sys.stderr,
+            )
+            return 2
+
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+        unknown = set(select) - set(all_rules())
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    violations = lint_paths(paths, select=select)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations))
+    return 1 if violations else 0

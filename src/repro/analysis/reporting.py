@@ -1,0 +1,52 @@
+"""Reporters for ``repro-lint`` findings (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.visitor import Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """Human-readable ``path:line:col: rule: message`` lines + summary."""
+    lines = [v.render() for v in violations]
+    if violations:
+        per_rule: Dict[str, int] = {}
+        for v in violations:
+            per_rule[v.rule] = per_rule.get(v.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{name}: {count}" for name, count in sorted(per_rule.items())
+        )
+        lines.append("")
+        lines.append(f"{len(violations)} violation(s) ({breakdown})")
+    else:
+        lines.append("repro-lint: clean")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report: ``{"violations": [...], "summary": {...}}``."""
+    per_rule: Dict[str, int] = {}
+    records: List[Dict[str, object]] = []
+    for v in violations:
+        per_rule[v.rule] = per_rule.get(v.rule, 0) + 1
+        records.append(
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+        )
+    return json.dumps(
+        {
+            "violations": records,
+            "summary": {"total": len(records), "by_rule": per_rule},
+        },
+        indent=2,
+        sort_keys=True,
+    )

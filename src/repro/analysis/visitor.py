@@ -1,0 +1,245 @@
+"""Core machinery of ``repro-lint``: file contexts, suppressions, registry.
+
+A :class:`Rule` inspects one parsed file (:class:`FileContext`) and yields
+:class:`Violation` records.  Rules are registered globally via
+:func:`register` so the CLI, the reporters and the test-suite all see one
+catalog.  Findings are filtered through *suppression comments*::
+
+    offending_line()  # repro-lint: disable=rule-name -- why this is safe
+
+The reason after ``--`` is mandatory: a suppression without one is itself
+reported (``suppression-format``), so every silenced finding carries an
+explanation into the diff.  ``disable-file=rule`` (anywhere in the file,
+conventionally the top) silences a rule for the whole file; ``disable=all``
+silences every rule on one line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "infer_role",
+]
+
+#: rule applicability domains: ``src`` is library code under ``src/repro``
+#: (minus the bench harness), ``bench`` is the harness / benchmark / example
+#: scripts (wall-clock and ambient RNG are legitimate there), ``tests`` is
+#: the pytest suite.
+ROLES = ("src", "bench", "tests")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?P<tail>.*)$"
+)
+_REASON_RE = re.compile(r"^\s*--\s*\S")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class FileContext:
+    """One file under analysis, parsed once and shared by every rule."""
+
+    path: str
+    role: str
+    source: str
+    tree: ast.Module
+    #: line -> rule names silenced on that line (``{"all"}`` silences all)
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule names silenced for the whole file
+    file_suppressions: Set[str] = field(default_factory=set)
+    #: malformed suppression comments (missing ``-- reason``)
+    suppression_errors: List[Violation] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, source: str, path: str, role: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, role=role, source=source, tree=tree)
+        ctx._scan_suppressions()
+        return ctx
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            names = {part.strip() for part in match.group("rules").split(",")}
+            if not _REASON_RE.match(match.group("tail")):
+                self.suppression_errors.append(
+                    Violation(
+                        rule="suppression-format",
+                        path=self.path,
+                        line=lineno,
+                        col=match.start(),
+                        message=(
+                            "suppression comment needs a reason: "
+                            "'# repro-lint: disable=<rule> -- <why>'"
+                        ),
+                    )
+                )
+                continue
+            if match.group("kind") == "disable-file":
+                self.file_suppressions |= names
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(names)
+
+    def suppressed(self, violation: Violation) -> bool:
+        if {"all", violation.rule} & self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(violation.line, ())
+        return "all" in on_line or violation.rule in on_line
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`name` / :attr:`description` / :attr:`roles` and
+    implement :meth:`check`, yielding violations for one file.  Use
+    :meth:`violation` to stamp findings with the rule's name.
+    """
+
+    #: unique kebab-case identifier (used in reports and suppressions)
+    name: str = ""
+    #: one-line summary for ``--list-rules`` and the docs
+    description: str = ""
+    #: which file roles the rule applies to
+    roles: Sequence[str] = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding one :class:`Rule` subclass to the catalog."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    unknown = set(rule.roles) - set(ROLES)
+    if unknown:
+        raise ValueError(f"rule {rule.name!r} has unknown roles {sorted(unknown)}")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registered rule catalog, name -> rule instance."""
+    return dict(_REGISTRY)
+
+
+def infer_role(path: Path) -> str:
+    """Classify a file into a lint role from its repo-relative location."""
+    parts = path.parts
+    if "tests" in parts or path.name.startswith("test_"):
+        return "tests"
+    if "benchmarks" in parts or "examples" in parts:
+        return "bench"
+    if "repro" in parts and "bench" in parts[parts.index("repro") :]:
+        return "bench"
+    return "src"
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    role: str = "src",
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns unsuppressed violations, sorted."""
+    ctx = FileContext.parse(source, path, role)
+    selected = set(select) if select is not None else None
+    findings: List[Violation] = list(ctx.suppression_errors)
+    for name, rule in sorted(_REGISTRY.items()):
+        if selected is not None and name not in selected:
+            continue
+        if ctx.role not in rule.roles:
+            continue
+        for violation in rule.check(ctx):
+            if not ctx.suppressed(violation):
+                findings.append(violation)
+    return sorted(findings, key=Violation.sort_key)
+
+
+def lint_file(
+    path: Path,
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one file on disk (role inferred from its path)."""
+    rel = path.relative_to(root) if root is not None else path
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        path=str(rel),
+        role=infer_role(rel),
+        select=select,
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: Set[Path] = set()
+    for base in paths:
+        if base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            candidates = [base]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint every ``*.py`` file under the given paths."""
+    findings: List[Violation] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, root=root, select=select))
+    return sorted(findings, key=Violation.sort_key)

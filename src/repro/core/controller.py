@@ -31,6 +31,7 @@ from repro.core.monitoring import QueryMonitor
 from repro.core.scopes import QueryScopes, ScopeStore, pairwise_intersections
 from repro.core.state import Fragment, QcutState
 from repro.errors import ControllerError
+from repro.graph.digraph import DiGraph
 
 __all__ = ["ControllerConfig", "MovePlan", "Controller"]
 
@@ -180,7 +181,7 @@ class Controller:
         self.scopes.remove_vertices(removed_vertices)
 
     def place_new_vertices(
-        self, graph, new_ids: np.ndarray, assignment: np.ndarray
+        self, graph: DiGraph, new_ids: np.ndarray, assignment: np.ndarray
     ) -> np.ndarray:
         """Owners for vertices appended by graph churn (streaming LDG).
 

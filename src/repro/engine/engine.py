@@ -27,13 +27,14 @@ Synchronization modes (see :mod:`repro.engine.barriers`):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.controller import Controller, MovePlan
 from repro.engine.barriers import SyncMode
 from repro.engine.query import Query, QueryRuntime
+from repro.engine.sanitizer import SimulationSanitizer, sanitizer_enabled
 from repro.engine.scheduler import Scheduler, make_scheduler
 from repro.engine.vertex_program import reduce_aggregator
 from repro.engine.worker import SimWorker
@@ -89,6 +90,14 @@ class EngineConfig:
         Bytes transferred per vertex during repartitioning moves.
     local_barrier_cost:
         CPU seconds a worker spends on a purely local barrier.
+    sanitizer:
+        Runtime invariant checking (see :mod:`repro.engine.sanitizer`):
+        ``True`` weaves epoch-guarded conservation/monotonicity/liveness
+        checks through the engine, raising structured
+        :class:`~repro.engine.sanitizer.SanitizerError` on the first
+        violation.  ``None`` (default) defers to the ``REPRO_SANITIZER``
+        environment variable, which is how CI sanitizes the whole tier-1
+        suite without touching test code.
     """
 
     sync_mode: SyncMode = SyncMode.HYBRID
@@ -100,6 +109,7 @@ class EngineConfig:
     vertex_state_bytes: int = 48
     local_barrier_cost: float = 1.0e-6
     max_events: int = 50_000_000
+    sanitizer: Optional[bool] = None
 
 
 class QGraphEngine:
@@ -178,6 +188,12 @@ class QGraphEngine:
         self._bsp_waiting: List[Query] = []
         self._bsp_participants: Set[int] = set()
         self._events_processed = 0
+        #: runtime invariant checker (None -> disabled, the default)
+        self.sanitizer: Optional[SimulationSanitizer] = (
+            SimulationSanitizer(self)
+            if sanitizer_enabled(self.config.sanitizer)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -244,7 +260,7 @@ class QGraphEngine:
         """Snapshot of queries waiting in the admission queue."""
         return self.scheduler.pending_queries()
 
-    def query_result(self, query_id: int):
+    def query_result(self, query_id: int) -> Any:
         """Answer of a finished query."""
         qr = self.runtimes.get(query_id)
         if qr is None:
@@ -484,6 +500,8 @@ class QGraphEngine:
         self._execute_compute(qr, worker, now)
 
     def _execute_compute(self, qr: QueryRuntime, worker: int, now: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_compute_allowed(qr.query.query_id, worker, now)
         qr.computed.add(worker)
         w = self.workers[worker]
         result = w.execute_iteration(qr, self.graph, self.assignment)
@@ -564,6 +582,8 @@ class QGraphEngine:
         qr = self.runtimes[query_id]
         if qr.finished:
             return
+        if self.sanitizer is not None:
+            self.sanitizer.observe_epoch(query_id, qr.barrier_epoch, now)
         if epoch is not None and epoch != qr.barrier_epoch:
             return  # ack from a previous barrier generation (e.g. pre-STOP)
         qr.acked.add(worker)
@@ -616,6 +636,8 @@ class QGraphEngine:
         qr.computed = set()
         qr.prior_participants = set()
         qr.barrier_epoch += 1
+        if self.sanitizer is not None:
+            self.sanitizer.observe_epoch(query_id, qr.barrier_epoch, now)
 
         if local and len(next_involved) == 1:
             # stay in local mode: continue immediately on the same worker
@@ -692,6 +714,8 @@ class QGraphEngine:
         qr = self.runtimes[query_id]
         qr.finalize_state()
         qr.finished = True
+        if self.sanitizer is not None:
+            self.sanitizer.on_query_finished(query_id)
         self.running.discard(query_id)
         self.scheduler.on_query_finished(qr.query)
         self.trace.query_finished(query_id, now)
@@ -732,7 +756,17 @@ class QGraphEngine:
     def _apply_graph_update(self, now: float, delta: GraphDelta) -> None:
         """Flush one delta into the graph and resize/clean engine state."""
         graph = self.graph
-        assert isinstance(graph, MutableDiGraph)
+        if not isinstance(graph, MutableDiGraph):
+            # survives python -O, unlike the assert it replaces (submit_update
+            # already gatekeeps; this guards direct _apply calls)
+            raise EngineError(
+                "graph update reached an immutable DiGraph — wrap the graph "
+                "with MutableDiGraph.from_digraph before submitting deltas"
+            )
+        if self.sanitizer is not None:
+            # catch out-of-band mutations of the cached CSR views before the
+            # legitimate flush re-baselines the fingerprint
+            self.sanitizer.check_csr_integrity(now)
         result = graph.apply_delta(delta)
         if not result and result.skipped == 0:
             return  # empty delta: nothing to record
@@ -778,6 +812,11 @@ class QGraphEngine:
                 dropped_messages=dropped,
             )
         )
+        if self.sanitizer is not None:
+            # re-baseline the CSR fingerprint at this legitimate flush, then
+            # verify every structure that must track it (dense buffers,
+            # assignment, controller scope liveness)
+            self.sanitizer.on_graph_flush(now)
 
     # ------------------------------------------------------------------
     # shared-BSP mode
@@ -894,6 +933,13 @@ class QGraphEngine:
     def _maybe_begin_stop(self, now: float) -> None:
         if not self.paused or self._stop_scheduled:
             return
+        if self._bsp_in_progress:
+            # shared-BSP: the STOP aligns with the superstep barrier.  An
+            # in-flight superstep finishes first (its computes may not even
+            # have started — ``_outstanding`` alone cannot see dispatched
+            # ``bsp_compute`` events); ``_bsp_resolve_superstep`` re-calls
+            # us once the barrier resolves.
+            return
         if self._stop_workers is None:
             # global STOP: the whole cluster drains
             if self._outstanding > 0:
@@ -926,7 +972,17 @@ class QGraphEngine:
     def _on_global_stop(self, now: float) -> None:
         plan = self._pending_plan
         self._pending_plan = None
-        assert plan is not None
+        if plan is None:  # survives python -O, unlike the assert it replaces
+            raise EngineError(
+                "STOP barrier completed with no pending move plan — "
+                "repartition protocol state is corrupt"
+            )
+        if self.sanitizer is not None:
+            # the migration reads the CSR: verify nothing mutated the cached
+            # views since the last legitimate flush, then fingerprint every
+            # mailbox so the rebucket below can prove it lost nothing
+            self.sanitizer.check_csr_integrity(now)
+            mailbox_snapshot = self.sanitizer.snapshot_mailboxes()
         moved_total = 0
         # migration cost is contention-aware: payloads serialize within a
         # directed link, so two moves sharing (src, dst) are charged the
@@ -952,6 +1008,8 @@ class QGraphEngine:
         for qr in self.runtimes.values():
             if not qr.finished:
                 qr.rebucket(self.assignment, workers=self._stop_workers)
+        if self.sanitizer is not None:
+            self.sanitizer.check_rebucket(mailbox_snapshot, self.assignment, now)
         involved = (
             tuple(range(self.cluster.num_workers))
             if self._stop_workers is None

@@ -28,7 +28,7 @@ user programs keep working unchanged.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def contribute_partial(agg_partial: Dict[str, Any], name: str, value: Any) -> No
 
 def group_by_owner(
     assignment: np.ndarray, vertices: np.ndarray, messages: np.ndarray
-):
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
     """Yield ``(owner, vertex_chunk, message_chunk)`` grouped by owning worker."""
     if vertices.size == 0:
         return
@@ -265,7 +265,14 @@ class _BoundedWavefrontKernel(QueryKernel):
         """Boolean mask of improved vertices that terminate the wave there."""
         raise NotImplementedError
 
-    def step(self, graph, dist, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        dist: np.ndarray,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         best = np.minimum(messages, dist[vertices])
         improved = best < dist[vertices]
         dist[vertices] = best
@@ -295,7 +302,7 @@ class _BoundedWavefrontKernel(QueryKernel):
             candidates = candidates[keep]
         return targets, candidates, contribs
 
-    def state_dict(self, dist, scope_mask):
+    def state_dict(self, dist: np.ndarray, scope_mask: np.ndarray) -> Dict[int, Any]:
         return {int(v): float(dist[v]) for v in np.flatnonzero(scope_mask)}
 
 
@@ -306,7 +313,7 @@ class SsspKernel(_BoundedWavefrontKernel):
     def __init__(self, target: Optional[int] = None) -> None:
         self.target = target
 
-    def terminal_mask(self, graph, iv):
+    def terminal_mask(self, graph: DiGraph, iv: np.ndarray) -> Optional[np.ndarray]:
         return iv == self.target if self.target is not None else None
 
 
@@ -314,7 +321,7 @@ class PoiKernel(_BoundedWavefrontKernel):
     """Expanding ring toward the nearest tagged vertex (mirrors
     :class:`repro.queries.poi.PoiProgram`)."""
 
-    def terminal_mask(self, graph, iv):
+    def terminal_mask(self, graph: DiGraph, iv: np.ndarray) -> Optional[np.ndarray]:
         if graph.tags is None:
             raise EngineError("POI kernel requires a tagged graph")
         return graph.tags[iv]
@@ -337,7 +344,14 @@ class BfsKernel(QueryKernel):
     def make_state(self, graph: DiGraph) -> np.ndarray:
         return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
 
-    def step(self, graph, depth, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        depth: np.ndarray,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         best = np.minimum(messages, depth[vertices])
         improved = best < depth[vertices]
         depth[vertices] = best
@@ -368,7 +382,7 @@ class BfsKernel(QueryKernel):
         out = ib[src_pos] + 1
         return targets, out, contribs
 
-    def state_dict(self, depth, scope_mask):
+    def state_dict(self, depth: np.ndarray, scope_mask: np.ndarray) -> Dict[int, Any]:
         return {int(v): int(depth[v]) for v in np.flatnonzero(scope_mask)}
 
 
@@ -385,7 +399,14 @@ class KHopKernel(QueryKernel):
     def make_state(self, graph: DiGraph) -> np.ndarray:
         return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
 
-    def step(self, graph, depth, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        depth: np.ndarray,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         best = np.minimum(messages, depth[vertices])
         improved = best < depth[vertices]
         depth[vertices] = best
@@ -401,7 +422,7 @@ class KHopKernel(QueryKernel):
         out = ib[src_pos] + 1
         return targets, out, {}
 
-    def state_dict(self, depth, scope_mask):
+    def state_dict(self, depth: np.ndarray, scope_mask: np.ndarray) -> Dict[int, Any]:
         return {int(v): int(depth[v]) for v in np.flatnonzero(scope_mask)}
 
 
@@ -422,7 +443,14 @@ class ReachabilityKernel(QueryKernel):
     def make_state(self, graph: DiGraph) -> np.ndarray:
         return np.zeros(graph.num_vertices, dtype=bool)
 
-    def step(self, graph, visited, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        visited: np.ndarray,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         fresh = vertices[~visited[vertices]]
         visited[vertices] = True
 
@@ -440,7 +468,7 @@ class ReachabilityKernel(QueryKernel):
         targets = csr.indices[edge_idx]
         return targets, np.ones(targets.size, dtype=bool), contribs
 
-    def state_dict(self, visited, scope_mask):
+    def state_dict(self, visited: np.ndarray, scope_mask: np.ndarray) -> Dict[int, Any]:
         return {int(v): True for v in np.flatnonzero(scope_mask)}
 
 
@@ -466,7 +494,9 @@ class LocalPageRankKernel(QueryKernel):
         n = graph.num_vertices
         return (np.zeros(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
 
-    def grow_state(self, state, new_n):
+    def grow_state(
+        self, state: Tuple[np.ndarray, np.ndarray], new_n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         p, r = state
         if p.size >= new_n:
             return state
@@ -476,7 +506,14 @@ class LocalPageRankKernel(QueryKernel):
         gr[: r.size] = r
         return (gp, gr)
 
-    def step(self, graph, state, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        state: Tuple[np.ndarray, np.ndarray],
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         p, r = state
         r[vertices] += messages
         csr = graph.csr()
@@ -501,7 +538,9 @@ class LocalPageRankKernel(QueryKernel):
         targets = csr.indices[edge_idx]
         return targets, shares[src_pos], {}
 
-    def state_dict(self, state, scope_mask):
+    def state_dict(
+        self, state: Tuple[np.ndarray, np.ndarray], scope_mask: np.ndarray
+    ) -> Dict[int, Any]:
         p, r = state
         return {
             int(v): (float(p[v]), float(r[v])) for v in np.flatnonzero(scope_mask)
@@ -535,7 +574,9 @@ class LocalWccKernel(QueryKernel):
     def decode_key(self, key: int) -> Tuple[int, int]:
         return int(key // self._base), int(self.max_hops - key % self._base)
 
-    def encode_messages(self, pairs):
+    def encode_messages(
+        self, pairs: Iterable[Tuple[int, Any]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
         pairs = list(pairs)
         vertices = np.fromiter(
             (v for v, _ in pairs), dtype=np.int64, count=len(pairs)
@@ -550,7 +591,14 @@ class LocalWccKernel(QueryKernel):
     def make_state(self, graph: DiGraph) -> np.ndarray:
         return np.full(graph.num_vertices, _INT_UNSET, dtype=np.int64)
 
-    def step(self, graph, keys, vertices, messages, agg_committed):
+    def step(
+        self,
+        graph: DiGraph,
+        keys: np.ndarray,
+        vertices: np.ndarray,
+        messages: np.ndarray,
+        agg_committed: Dict[str, Any],
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
         best = np.minimum(messages, keys[vertices])
         improved = best < keys[vertices]
         keys[vertices] = best
@@ -568,7 +616,7 @@ class LocalWccKernel(QueryKernel):
         out = ib[src_pos] + 1
         return targets, out, {}
 
-    def state_dict(self, keys, scope_mask):
+    def state_dict(self, keys: np.ndarray, scope_mask: np.ndarray) -> Dict[int, Any]:
         return {
             int(v): self.decode_key(int(keys[v]))
             for v in np.flatnonzero(scope_mask)

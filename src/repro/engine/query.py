@@ -11,13 +11,14 @@ conflicts between parallel queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import QueryError
 from repro.engine.kernels import ArrayMailbox, group_by_owner
 from repro.engine.vertex_program import VertexProgram
+from repro.graph.digraph import DiGraph
 
 __all__ = ["Query", "QueryRuntime"]
 
@@ -91,7 +92,7 @@ class QueryRuntime:
         "scope_mask",
     )
 
-    def __init__(self, query: Query, graph=None) -> None:
+    def __init__(self, query: Query, graph: Optional[DiGraph] = None) -> None:
         self.query = query
         #: query-local vertex data Dv (sparse: only activated vertices)
         self.state: Dict[int, Any] = {}
@@ -166,7 +167,9 @@ class QueryRuntime:
             box = target[worker] = ArrayMailbox()
         box.append(vertices, messages)
 
-    def seed_messages(self, pairs, assignment: np.ndarray) -> None:
+    def seed_messages(
+        self, pairs: Iterable[Tuple[int, Any]], assignment: np.ndarray
+    ) -> None:
         """Deliver the program's seed messages through the active path."""
         if self.kernel is None:
             for vertex, message in pairs:
@@ -187,7 +190,9 @@ class QueryRuntime:
         """Workers that will participate in the next iteration."""
         return {w for w, box in self.next_mailboxes.items() if box}
 
-    def rebucket(self, assignment, workers: Optional[Set[int]] = None) -> None:
+    def rebucket(
+        self, assignment: np.ndarray, workers: Optional[Set[int]] = None
+    ) -> None:
         """Re-home mailbox entries after vertices moved between workers.
 
         Handles both mailbox generations and both representations (dict
@@ -291,7 +296,7 @@ class QueryRuntime:
         if self.kernel is not None:
             self.state = self.kernel.state_dict(self.kstate, self.scope_mask)
 
-    def snapshot_result(self, graph) -> Any:
+    def snapshot_result(self, graph: DiGraph) -> Any:
         """The query answer per the program's result extractor."""
         return self.query.program.result(self.materialized_state(), graph)
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -322,7 +322,9 @@ SCHEDULER_POLICIES: Dict[str, type] = {
 }
 
 
-def make_scheduler(policy, assignment: Optional[np.ndarray] = None) -> Scheduler:
+def make_scheduler(
+    policy: Union[str, Scheduler], assignment: Optional[np.ndarray] = None
+) -> Scheduler:
     """Build a scheduler from a policy name (or pass an instance through).
 
     ``assignment`` seeds placement-aware policies with the engine's initial

@@ -18,11 +18,11 @@ to the machine and network models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
-from repro.engine.kernels import contribute_partial, group_by_owner
+from repro.engine.kernels import ArrayMailbox, contribute_partial, group_by_owner
 from repro.engine.query import QueryRuntime
 from repro.engine.vertex_program import ComputeContext
 from repro.graph.digraph import DiGraph
@@ -129,7 +129,7 @@ class SimWorker:
         qr: QueryRuntime,
         graph: DiGraph,
         assignment: np.ndarray,
-        mailbox,
+        mailbox: ArrayMailbox,
         result: IterationResult,
     ) -> None:
         """Array-mailbox iteration through the program's QueryKernel.
@@ -179,7 +179,10 @@ class SimWorker:
 
     # ------------------------------------------------------------------
     def compute_duration(
-        self, result: IterationResult, serialize_time_fn, deserialize_time: float = 0.0
+        self,
+        result: IterationResult,
+        serialize_time_fn: Callable[[int, int], float],
+        deserialize_time: float = 0.0,
     ) -> float:
         """CPU seconds of the iteration under the machine cost model.
 

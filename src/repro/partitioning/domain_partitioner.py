@@ -137,7 +137,10 @@ class DomainPartitioner(Partitioner):
     def _partition_by_coordinates(self, graph: DiGraph, k: int) -> np.ndarray:
         """Fallback: recursive coordinate bisection into k equal strips."""
         coords = graph.coords
-        assert coords is not None
+        if coords is None:  # survives python -O, unlike the assert it replaces
+            raise PartitioningError(
+                "coordinate bisection fallback requires vertex coordinates"
+            )
         order = np.lexsort((coords[:, 1], coords[:, 0]))
         assignment = np.empty(graph.num_vertices, dtype=np.int64)
         bounds = np.linspace(0, graph.num_vertices, k + 1).astype(np.int64)

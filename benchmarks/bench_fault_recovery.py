@@ -1,0 +1,245 @@
+"""Fault tolerance: crash/recovery identity and checkpoint overhead.
+
+The fault-tolerance subsystem (``repro.simulation.faults`` +
+``repro.engine.checkpoint``) injects deterministic worker crashes, message
+drop/duplication and control-plane loss, detects crashes by heartbeat, and
+recovers by re-homing the dead workers' vertices and rolling every running
+query back to its latest barrier-aligned checkpoint.  This benchmark gates
+the three contracts of the subsystem on a pinned deterministic instance:
+
+* **zero-fault identity** — an engine built with a no-op
+  :class:`FaultPlan` is *event-for-event identical* (per-query lifecycle,
+  message counters, barrier counts, total processed events, answers) to the
+  pre-PR engine built with no fault layer at all;
+* **recovery identity** — a run with an injected mid-flight crash returns,
+  for every query, answers bit-identical to the fault-free run of the same
+  configuration: rollback + replay is exactly-once at the answer level;
+* **checkpoint overhead** — fault-free checkpointing at the benchmark
+  interval costs at most 10% makespan over the no-checkpoint baseline.
+
+Machine-readable results go to ``BENCH_faults.json``.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_fault_recovery.py
+Environment knobs: REPRO_FAULT_BENCH_MAIN, REPRO_FAULT_BENCH_PARALLEL,
+REPRO_FAULT_BENCH_INTERVAL, REPRO_FAULT_BENCH_CRASHES,
+REPRO_FAULT_BENCH_SEED, REPRO_FAULT_BENCH_GATE (0 disables the
+checkpoint-overhead gate for exploratory runs), REPRO_FAULT_BENCH_JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Dict
+
+import numpy as np
+
+from repro.bench.harness import Scenario, road_network_for, run_scenario
+from repro.engine.engine import QGraphEngine
+from repro.simulation.faults import FaultPlan
+from repro.simulation.tracing import MetricsTrace
+from repro.workload.generator import WorkloadGenerator
+
+#: pinned deterministic instance — the identity gates and the 10% overhead
+#: bound were verified for this configuration (and the CI small instance)
+MAIN_QUERIES = int(os.environ.get("REPRO_FAULT_BENCH_MAIN", 96))
+MAX_PARALLEL = int(os.environ.get("REPRO_FAULT_BENCH_PARALLEL", 16))
+CHECKPOINT_INTERVAL = int(os.environ.get("REPRO_FAULT_BENCH_INTERVAL", 4))
+NUM_CRASHES = int(os.environ.get("REPRO_FAULT_BENCH_CRASHES", 2))
+SEED = int(os.environ.get("REPRO_FAULT_BENCH_SEED", 5))
+GATE = os.environ.get("REPRO_FAULT_BENCH_GATE", "1") != "0"
+JSON_PATH = os.environ.get("REPRO_FAULT_BENCH_JSON", "BENCH_faults.json")
+
+#: fault-free checkpointing may cost at most this fraction of makespan
+OVERHEAD_BUDGET = 0.10
+
+
+def _fingerprint(engine: QGraphEngine, trace: MetricsTrace):
+    """Everything observable about a run, for event-for-event comparison."""
+    return (
+        {
+            qid: (r.start_time, r.end_time, r.iterations, r.local_iterations)
+            for qid, r in trace.queries.items()
+        },
+        [
+            (r.time, r.moved_vertices, r.num_moves, r.involved_workers)
+            for r in trace.repartitions
+        ],
+        trace.local_messages,
+        trace.remote_messages,
+        trace.remote_batches,
+        trace.barrier_acks,
+        trace.barrier_releases,
+        trace.checkpoints_taken,
+        engine._events_processed,
+    )
+
+
+def _answers(engine: QGraphEngine, trace: MetricsTrace):
+    return {qid: engine.query_result(qid) for qid in sorted(trace.queries)}
+
+
+def _answers_equal(a, b) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for qid in a:
+        if a[qid] != b[qid]:
+            return False
+    return True
+
+
+def base_scenario(name: str, **overrides) -> Scenario:
+    return Scenario(
+        name=name,
+        graph_preset="bw",
+        partitioner="hash",
+        k=8,
+        adaptive=True,
+        workload="sssp",
+        main_queries=MAIN_QUERIES,
+        max_parallel=MAX_PARALLEL,
+        seed=SEED,
+        **overrides,
+    )
+
+
+def check_zero_fault_identity() -> int:
+    print("gate 1: zero-fault identity (no-op FaultPlan vs no fault layer)")
+    bare = run_scenario(base_scenario("bare"))
+    noop = run_scenario(base_scenario("noop", faults=FaultPlan(seed=SEED)))
+    assert noop.engine.faults is None, "no-op plan was not normalized away"
+    assert _fingerprint(bare.engine, bare.trace) == _fingerprint(
+        noop.engine, noop.trace
+    ), (
+        "a zero-fault plan diverged from the engine without a fault layer "
+        "(event counts or query lifecycles differ)"
+    )
+    assert _answers_equal(
+        _answers(bare.engine, bare.trace), _answers(noop.engine, noop.trace)
+    ), "zero-fault answers differ"
+    print(
+        f"  identical: {len(bare.trace.queries)} queries, "
+        f"{bare.engine._events_processed} events each"
+    )
+    return bare.engine._events_processed
+
+
+def run_comparison() -> Dict[str, float]:
+    check_zero_fault_identity()
+
+    # fault-free arms: without and with checkpointing (overhead gate + the
+    # reference answers the recovery gate compares against)
+    plain = run_scenario(base_scenario("plain"))
+    clean = run_scenario(
+        base_scenario("clean", checkpoint_interval=CHECKPOINT_INTERVAL)
+    )
+    overhead = (clean.makespan - plain.makespan) / plain.makespan
+    print(
+        f"\ngate 2: checkpoint overhead — makespan {plain.makespan:.4f} -> "
+        f"{clean.makespan:.4f} ({overhead:+.2%}, budget {OVERHEAD_BUDGET:.0%}, "
+        f"{clean.trace.checkpoints_taken} checkpoints)"
+    )
+
+    # the faulted arm: crashes drawn from the generator's dedicated fault
+    # stream, landing mid-flight in the clean run's makespan
+    rn = road_network_for("bw", None, seed=0)
+    plan = WorkloadGenerator(rn, seed=SEED + 1).fault_plan(
+        num_workers=clean.scenario.k,
+        crashes=NUM_CRASHES,
+        window=(0.15 * clean.makespan, 0.45 * clean.makespan),
+        downtime=0.3 * clean.makespan,
+        message_drop=0.05,
+        control_loss=0.05,
+        report_loss=0.05,
+    )
+    faulty = run_scenario(
+        replace(clean.scenario, name="faulty", faults=plan)
+    )
+    trace = faulty.trace
+    # a crash drawn for an already-dead victim collapses into the first, so
+    # observed crashes can undershoot the scheduled count
+    assert 1 <= trace.worker_crashes <= NUM_CRASHES, (
+        f"scheduled {NUM_CRASHES} crashes, observed {trace.worker_crashes}"
+    )
+    assert trace.recoveries, "no recovery barrier ran"
+
+    print(
+        f"\ngate 3: recovery identity — {trace.worker_crashes} crashes, "
+        f"{len(trace.recoveries)} recoveries, "
+        f"{sum(r.queries_rolled_back for r in trace.recoveries)} queries "
+        f"rolled back "
+        f"({sum(r.iterations_rolled_back for r in trace.recoveries)} "
+        f"iterations), "
+        f"{sum(r.rehomed_vertices for r in trace.recoveries)} vertices "
+        f"re-homed, makespan {clean.makespan:.4f} -> {faulty.makespan:.4f}"
+    )
+    finished = len(trace.finished_queries())
+    assert finished == MAIN_QUERIES, (
+        f"faulted run finished only {finished}/{MAIN_QUERIES} queries"
+    )
+    assert _answers_equal(
+        _answers(faulty.engine, trace), _answers(clean.engine, clean.trace)
+    ), "faulted answers diverged from the fault-free run (recovery identity)"
+    print(f"  identical answers for all {finished} queries")
+
+    stats = {
+        "main_queries": MAIN_QUERIES,
+        "max_parallel": MAX_PARALLEL,
+        "checkpoint_interval": CHECKPOINT_INTERVAL,
+        "num_crashes": NUM_CRASHES,
+        "seed": SEED,
+        "checkpoint_overhead": round(overhead, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "plain_makespan": round(plain.makespan, 6),
+        "clean_makespan": round(clean.makespan, 6),
+        "faulty_makespan": round(faulty.makespan, 6),
+        "checkpoints_taken": int(clean.trace.checkpoints_taken),
+        "worker_crashes": int(trace.worker_crashes),
+        "worker_recoveries": int(trace.worker_recoveries),
+        "recoveries": [
+            {
+                "time": round(r.time, 6),
+                "workers": list(r.workers),
+                "detection_latency": round(r.detection_latency, 6),
+                "queries_rolled_back": r.queries_rolled_back,
+                "iterations_rolled_back": r.iterations_rolled_back,
+                "rehomed_vertices": r.rehomed_vertices,
+                "stall_duration": round(r.stall_duration, 6),
+            }
+            for r in trace.recoveries
+        ],
+        "total_recovery_stall": round(trace.total_recovery_stall(), 6),
+        "control_retries": int(trace.control_retries),
+        "lost_reports": int(trace.lost_reports),
+        "lost_computes": int(trace.lost_computes),
+        "wall_seconds": round(
+            plain.wall_seconds + clean.wall_seconds + faulty.wall_seconds, 3
+        ),
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(stats, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {JSON_PATH}")
+
+    if GATE:
+        assert overhead <= OVERHEAD_BUDGET, (
+            f"fault-free checkpointing cost {overhead:.2%} makespan, over "
+            f"the {OVERHEAD_BUDGET:.0%} budget"
+        )
+    return {
+        "checkpoint_overhead": overhead,
+        "recovery_stall": trace.total_recovery_stall(),
+        "queries_rolled_back": float(
+            sum(r.queries_rolled_back for r in trace.recoveries)
+        ),
+    }
+
+
+def test_fault_recovery(benchmark, record_info):
+    stats = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record_info(**stats)
+
+
+if __name__ == "__main__":
+    run_comparison()

@@ -31,6 +31,12 @@ relies on (see ``docs/analysis.md`` for the rationale and examples):
     Strict-typing gate for ``repro/core`` and ``repro/engine``: every
     function signature fully annotated (checked by mypy in CI; this rule
     keeps the annotation *coverage* honest without needing mypy locally).
+``swallowed-error``
+    No broad exception handlers that silently discard the error (``except:
+    pass`` / ``except Exception: pass``) in library code — a swallowed
+    error in the simulation turns a hard failure into silent divergence.
+    Narrow handlers (``except KeyError: pass``) and broad handlers that
+    actually *do* something (log, re-raise, fall back) stay legal.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ __all__ = [
     "MutableDefaultRule",
     "UnorderedIterationRule",
     "ShadowBuiltinRule",
+    "SwallowedErrorRule",
     "UntypedDefRule",
 ]
 
@@ -585,6 +592,58 @@ class ShadowBuiltinRule(Rule):
             elif isinstance(node, ast.ExceptHandler):
                 if node.name in _SHADOW_DENYLIST:
                     yield self._flag(ctx, node, node.name)
+
+
+# ----------------------------------------------------------------------
+# swallowed-error
+# ----------------------------------------------------------------------
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+@register
+class SwallowedErrorRule(Rule):
+    name = "swallowed-error"
+    description = (
+        "no broad exception handlers that silently discard the error "
+        "(except: pass / except Exception: pass) in library code"
+    )
+    roles = ("src",)
+
+    @classmethod
+    def _is_broad(cls, node: Optional[ast.expr]) -> bool:
+        """Whether the handler catches Exception/BaseException (or everything)."""
+        if node is None:  # bare ``except:``
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in _BROAD_EXCEPTION_NAMES
+        if isinstance(node, ast.Attribute):  # builtins.Exception
+            return node.attr in _BROAD_EXCEPTION_NAMES
+        if isinstance(node, ast.Tuple):
+            return any(cls._is_broad(elt) for elt in node.elts)
+        return False
+
+    @staticmethod
+    def _is_inert(stmt: ast.stmt) -> bool:
+        """A statement that cannot handle the error: pass / ... / docstring."""
+        if isinstance(stmt, ast.Pass):
+            return True
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            return True  # ``...`` or a bare string
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if all(self._is_inert(stmt) for stmt in node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "broad except silently swallows the error — catch the "
+                    "specific exception, or handle/log/re-raise it",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.partitioning import (
     LdgPartitioner,
 )
 from repro.simulation.cluster import make_cluster
+from repro.simulation.faults import FaultPlan
 from repro.simulation.tracing import MetricsTrace
 from repro.workload.generator import PhaseSpec, WorkloadGenerator
 
@@ -149,6 +150,11 @@ class Scenario:
     at that many events per virtual second over a ``churn_span`` horizon;
     the scenario's road network is deep-copied before mutation so the
     harness cache stays pristine.
+    ``faults`` injects a deterministic
+    :class:`~repro.simulation.faults.FaultPlan` (worker crashes, message
+    drops/duplicates, control loss); ``checkpoint_interval > 0`` enables
+    barrier-aligned checkpointing, required whenever the plan schedules
+    crashes.
     """
 
     name: str
@@ -173,6 +179,8 @@ class Scenario:
     graph_scale: Optional[float] = None
     workload_bucket: float = 0.05
     controller_overrides: Tuple[Tuple[str, object], ...] = ()
+    faults: Optional[FaultPlan] = None
+    checkpoint_interval: int = 0
 
     def controller_config(self) -> ControllerConfig:
         return default_controller_config(**dict(self.controller_overrides))
@@ -261,8 +269,10 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             scheduler=scenario.scheduler,
             adaptive=scenario.adaptive,
             repartition_mode=scenario.repartition_mode,
+            checkpoint_interval=scenario.checkpoint_interval,
         ),
         trace=trace,
+        faults=scenario.faults,
     )
 
     generator = WorkloadGenerator(rn, seed=scenario.seed + 1)

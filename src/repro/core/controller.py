@@ -137,6 +137,37 @@ class Controller:
         #: (workers may still be flushing pre-churn iterations) are
         #: filtered against this so dead ids never re-enter the scopes
         self._dead_vertices: Set[int] = set()
+        #: workers currently known crashed (fault tolerance): placement and
+        #: move planning must not target them until they recover
+        self._down_workers: FrozenSet[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    # fault awareness
+    # ------------------------------------------------------------------
+    def set_down_workers(self, workers: FrozenSet[int]) -> None:
+        """Sync the engine's crash knowledge into the planning layer."""
+        if len(workers) >= self.k:
+            raise ControllerError("every worker reported down")
+        self._down_workers = frozenset(workers)
+
+    def _redirect_off_down_workers(self, owners: np.ndarray) -> np.ndarray:
+        """Remap any owner choice that landed on a down worker.
+
+        Deterministic round-robin over the live workers, so placement stays
+        reproducible for a pinned fault schedule.
+        """
+        if not self._down_workers:
+            return owners
+        down = np.isin(owners, sorted(self._down_workers))
+        if not down.any():
+            return owners
+        live = np.array(
+            [w for w in range(self.k) if w not in self._down_workers],
+            dtype=owners.dtype,
+        )
+        owners = owners.copy()
+        owners[down] = live[np.arange(int(down.sum())) % live.size]
+        return owners
 
     # ------------------------------------------------------------------
     # Monitor
@@ -192,7 +223,8 @@ class Controller:
         """
         from repro.partitioning.ldg import ldg_place_vertices
 
-        return ldg_place_vertices(graph, new_ids, assignment, self.k)
+        owners = ldg_place_vertices(graph, new_ids, assignment, self.k)
+        return self._redirect_off_down_workers(owners)
 
     def average_locality(self) -> float:
         """Monitored average query locality (the Φ signal)."""
@@ -445,6 +477,10 @@ class Controller:
         for unit, origin, current in result.best_state.relocated_fragments():
             vertices = fragment_vertices.get((unit, origin))
             if vertices is None or vertices.size == 0:
+                continue
+            if origin in self._down_workers or current in self._down_workers:
+                # a crashed worker can neither ship nor receive state; the
+                # post-recovery Q-cut replans with the survivors
                 continue
             plan.moves.append(MoveRequest(src=origin, dst=current, vertices=vertices))
         # annotate the plan with the workers the Execute step touches — a

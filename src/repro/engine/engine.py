@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.controller import Controller, MovePlan
 from repro.engine.barriers import SyncMode
+from repro.engine.checkpoint import QueryCheckpoint
 from repro.engine.query import Query, QueryRuntime
 from repro.engine.sanitizer import SimulationSanitizer, sanitizer_enabled
 from repro.engine.scheduler import Scheduler, make_scheduler
@@ -43,9 +44,12 @@ from repro.graph.delta import GraphDelta, MutableDiGraph
 from repro.graph.digraph import DiGraph
 from repro.simulation.cluster import ClusterSpec
 from repro.simulation.events import EventQueue
+from repro.simulation.faults import FaultPlan
+from repro.simulation.network import NetworkModel
 from repro.simulation.tracing import (
     GraphChurnRecord,
     MetricsTrace,
+    RecoveryRecord,
     RepartitionRecord,
 )
 
@@ -90,6 +94,33 @@ class EngineConfig:
         Bytes transferred per vertex during repartitioning moves.
     local_barrier_cost:
         CPU seconds a worker spends on a purely local barrier.
+    max_events:
+        Runaway-simulation budget: a run that processes more events raises
+        an :class:`EngineError` whose message carries a diagnostic snapshot
+        of the engine state (queue length, running/paused queries, barrier
+        waits) so livelocks are debuggable from the exception alone.
+    checkpoint_interval:
+        Barrier-aligned checkpointing period in iterations (``0`` disables
+        it).  Every running query snapshots its complete logical state at
+        each barrier whose (post-rotate) iteration number is a multiple of
+        the interval; crash recovery rolls queries back to their latest
+        snapshot.  Required (> 0) when a :class:`FaultPlan` schedules
+        worker crashes.
+    checkpoint_cost:
+        CPU seconds each involved worker spends writing its checkpoint
+        shard, plus ``message_handling_time`` per checkpointed message on
+        that worker (the simulated stable-storage write).
+    heartbeat_interval / heartbeat_timeout:
+        Crash detection: the controller sweeps worker heartbeats every
+        ``heartbeat_interval`` seconds and declares a worker dead once it
+        has been silent for ``heartbeat_timeout``.  Only active while a
+        fault plan schedules crashes.
+    control_retry_timeout / control_retry_backoff / control_max_retries:
+        Control-plane hardening: a lost barrier ack is retransmitted after
+        ``control_retry_timeout`` seconds, with the timeout multiplied by
+        ``control_retry_backoff`` per attempt, for at most
+        ``control_max_retries`` attempts (the final attempt always lands,
+        so control loss delays but never strands a barrier).
     sanitizer:
         Runtime invariant checking (see :mod:`repro.engine.sanitizer`):
         ``True`` weaves epoch-guarded conservation/monotonicity/liveness
@@ -109,6 +140,13 @@ class EngineConfig:
     vertex_state_bytes: int = 48
     local_barrier_cost: float = 1.0e-6
     max_events: int = 50_000_000
+    checkpoint_interval: int = 0
+    checkpoint_cost: float = 2.0e-5
+    heartbeat_interval: float = 0.002
+    heartbeat_timeout: float = 0.004
+    control_retry_timeout: float = 1.0e-3
+    control_retry_backoff: float = 2.0
+    control_max_retries: int = 8
     sanitizer: Optional[bool] = None
 
 
@@ -123,6 +161,7 @@ class QGraphEngine:
         controller: Optional[Controller] = None,
         config: Optional[EngineConfig] = None,
         trace: Optional[MetricsTrace] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         assignment = np.asarray(assignment, dtype=np.int64)
         if assignment.shape != (graph.num_vertices,):
@@ -188,6 +227,63 @@ class QGraphEngine:
         self._bsp_waiting: List[Query] = []
         self._bsp_participants: Set[int] = set()
         self._events_processed = 0
+        # --- fault-tolerance state (inert on fault-free runs) ---
+        #: the active fault plan; ``None`` when the run is fault-free (a
+        #: no-op plan is normalized to ``None`` so it is event-for-event
+        #: identical to not passing one)
+        self.faults: Optional[FaultPlan] = None
+        self._fault_rng: Optional[np.random.Generator] = None
+        #: workers currently crashed (crash-stop: no compute, no acks)
+        self._dead_workers: Set[int] = set()
+        #: crashed workers the heartbeat sweep has not yet declared dead
+        self._undetected_crashes: Dict[int, float] = {}
+        #: scheduled ``worker_crash`` events that have not fired yet (keeps
+        #: the heartbeat chain alive until the last crash has been handled)
+        self._pending_crash_events = 0
+        self._controller_down = False
+        #: detected crashes awaiting a recovery barrier:
+        #: (worker, crash_time, detection_time)
+        self._recovering: List[Tuple[int, float, float]] = []
+        #: the STOP in progress is a crash-recovery barrier, not a
+        #: repartition
+        self._recovery_active = False
+        #: queries restored by the recovery in progress, re-dispatched at
+        #: the START that follows it (stage R)
+        self._restored_queries: List[int] = []
+        #: queries whose current iteration lost results to a crash; frozen
+        #: until a recovery rolls them back (finishing one is a protocol bug)
+        self._tainted_queries: Set[int] = set()
+        #: compute dispatches that landed on a dead worker, dropped at the
+        #: recovery rollback (the restored query re-dispatches from its
+        #: checkpoint)
+        self._held_dead_tasks: List[Tuple[int, int]] = []
+        #: query id -> latest barrier-aligned checkpoint
+        self._checkpoints: Dict[int, QueryCheckpoint] = {}
+        if self.config.checkpoint_interval < 0:
+            raise EngineError("checkpoint_interval must be >= 0")
+        if faults is not None and (not faults.is_noop() or self._links_have_faults()):
+            faults.validate_for(cluster.num_workers)
+            if faults.has_crashes() and self.config.checkpoint_interval <= 0:
+                raise EngineError(
+                    "fault plan schedules worker crashes but checkpointing "
+                    "is disabled — set EngineConfig.checkpoint_interval > 0"
+                )
+            self.faults = faults
+            self._fault_rng = faults.make_rng()
+            for crash in faults.crashes:
+                self.queue.schedule(
+                    crash.time,
+                    "worker_crash",
+                    worker=crash.worker,
+                    downtime=crash.downtime,
+                )
+            for crash in faults.controller_crashes:
+                self.queue.schedule(
+                    crash.time, "controller_crash", downtime=crash.downtime
+                )
+            self._pending_crash_events = len(faults.crashes)
+            if faults.has_crashes():
+                self.queue.schedule(self.config.heartbeat_interval, "heartbeat")
         #: runtime invariant checker (None -> disabled, the default)
         self.sanitizer: Optional[SimulationSanitizer] = (
             SimulationSanitizer(self)
@@ -244,7 +340,11 @@ class QGraphEngine:
                 break
             self._events_processed += 1
             if self._events_processed > self.config.max_events:
-                raise EngineError("event budget exhausted — runaway simulation?")
+                raise EngineError(
+                    f"event budget exhausted after {self.config.max_events} "
+                    "events — runaway simulation? "
+                    f"[{self._budget_diagnostics()}]"
+                )
             handler = getattr(self, f"_on_{event.kind}", None)
             if handler is None:
                 raise EngineError(f"no handler for event kind {event.kind!r}")
@@ -275,6 +375,159 @@ class QGraphEngine:
 
     def _dispatch_cost(self) -> float:
         return self.cluster.machine.controller_dispatch_time
+
+    def _links_have_faults(self) -> bool:
+        """Whether any cluster link carries drop/duplication probabilities.
+
+        Link-level fault probabilities only take effect when a
+        :class:`FaultPlan` supplies the fault RNG stream — without a plan
+        the engine draws no fault randomness at all, keeping fault-free
+        runs bit-identical to builds that predate the fault layer.
+        """
+        k = self.cluster.num_workers
+        for src in range(k):
+            for dst in range(k):
+                if src == dst:
+                    continue
+                link = self.cluster.link(src, dst)
+                if link.drop_probability > 0.0 or link.duplicate_probability > 0.0:
+                    return True
+        return False
+
+    def _budget_diagnostics(self) -> str:
+        """One-line engine-state snapshot for the runaway-budget error."""
+        parts = [
+            f"t={self.now:.6f}",
+            f"queue_len={len(self.queue)}",
+            f"running={len(self.running)}",
+            f"admission_queue={len(self.scheduler.pending_queries())}",
+            f"outstanding_computes={self._outstanding}",
+            f"paused={self.paused}",
+            f"held_tasks={len(self._held_tasks)}",
+            f"held_resolutions={len(self._held_resolutions)}",
+        ]
+        if self._dead_workers:
+            parts.append(f"dead_workers={sorted(self._dead_workers)}")
+        if self._tainted_queries:
+            parts.append(f"tainted_queries={sorted(self._tainted_queries)}")
+        for query_id in sorted(self.running)[:4]:
+            qr = self.runtimes[query_id]
+            waiting = sorted(self._required_ackers(qr) - qr.acked)
+            parts.append(
+                f"q{query_id}(it={qr.iteration}, epoch={qr.barrier_epoch}, "
+                f"waiting_on={waiting})"
+            )
+        return ", ".join(parts)
+
+    def _control_delay(self) -> float:
+        """Extra latency a control message pays to fault-injected loss.
+
+        Draws from the fault RNG only when a plan with ``control_loss`` is
+        active; each lost transmission costs one retry timeout (exponential
+        backoff), and the final attempt always lands — control loss delays
+        barriers, it never strands them.
+        """
+        faults = self.faults
+        rng = self._fault_rng
+        if faults is None or rng is None or faults.control_loss <= 0.0:
+            return 0.0
+        delay = 0.0
+        timeout = self.config.control_retry_timeout
+        for _attempt in range(self.config.control_max_retries):
+            if rng.random() >= faults.control_loss:
+                break
+            self.trace.control_retries += 1
+            delay += timeout
+            timeout *= self.config.control_retry_backoff
+        return delay
+
+    def _faulty_transfer(
+        self, link: NetworkModel, count: int, arrival: float
+    ) -> float:
+        """Arrival time of a vertex-message batch train under link faults.
+
+        Reliable transport: a dropped batch is retransmitted after one
+        link round-trip plus its transfer time (content is never lost, so
+        data-plane answers stay bit-identical); a duplicated batch costs
+        wire time and a receiver-side discard, nothing else.
+        """
+        faults = self.faults
+        rng = self._fault_rng
+        if faults is None or rng is None:  # caller gates on self.faults
+            return arrival
+        p_drop = (
+            faults.message_drop
+            if faults.message_drop is not None
+            else link.drop_probability
+        )
+        p_dup = (
+            faults.message_duplicate
+            if faults.message_duplicate is not None
+            else link.duplicate_probability
+        )
+        if p_drop <= 0.0 and p_dup <= 0.0:
+            return arrival
+        batches = link.num_batches(count)
+        per_batch = -(-count // batches) if batches else count
+        for _batch in range(batches):
+            if p_drop > 0.0:
+                while rng.random() < p_drop:
+                    self.trace.dropped_batches += 1
+                    arrival += link.retransmit_delay(per_batch)
+            if p_dup > 0.0 and rng.random() < p_dup:
+                self.trace.duplicated_batches += 1
+                self.trace.remote_batches += 1
+                arrival += link.transfer_time(0)
+        return arrival
+
+    def _report_controller_iteration(
+        self, query_id: int, involved_count: int, activated: List[int], now: float
+    ) -> None:
+        """Forward a per-barrier stats report, unless faults eat it.
+
+        A lost report (or a crashed controller) degrades adaptivity — the
+        Q-cut planner sees stale statistics — but never correctness: query
+        answers only depend on engine-side state.
+        """
+        if self.faults is not None:
+            if self._controller_down:
+                self.trace.lost_reports += 1
+                return
+            rng = self._fault_rng
+            if (
+                rng is not None
+                and self.faults.report_loss > 0.0
+                and rng.random() < self.faults.report_loss
+            ):
+                self.trace.lost_reports += 1
+                return
+        self.controller.on_iteration(query_id, involved_count, activated, now)
+
+    def _capture_checkpoint(
+        self, qr: QueryRuntime, now: float, charge: bool = True
+    ) -> None:
+        """Snapshot a query at its current barrier (and charge the write).
+
+        Each involved worker pays ``checkpoint_cost`` plus a per-message
+        handling cost for its shard; the initial checkpoint taken at query
+        start is free (the submission itself materialized that state).
+        """
+        query_id = qr.query.query_id
+        ck = QueryCheckpoint.capture(qr)
+        if self.sanitizer is not None:
+            ck.fingerprint = self.sanitizer.checkpoint_fingerprint(qr)
+        self._checkpoints[query_id] = ck
+        self.trace.checkpoints_taken += 1
+        if not charge:
+            return
+        handling = self.cluster.machine.message_handling_time
+        for w in sorted(qr.involved):
+            box = qr.mailboxes.get(w)
+            shard = len(box) if box is not None else 0
+            self.workers[w].occupy(
+                max(self.workers[w].busy_until, now),
+                self.config.checkpoint_cost + handling * shard,
+            )
 
     def _partial_repartitioning(self) -> bool:
         """Whether STOP/START barriers run in plan-scoped (partial) mode.
@@ -385,6 +638,11 @@ class QGraphEngine:
             self._finish_query(query.query_id, now)
             return
 
+        if self.config.checkpoint_interval > 0:
+            # iteration-0 baseline: recovery can always roll back to the
+            # seeded state even before the first periodic checkpoint
+            self._capture_checkpoint(qr, now, charge=False)
+
         if self.config.sync_mode is SyncMode.SHARED_BSP:
             self._bsp_waiting.append(query)
             if not self._bsp_in_progress:
@@ -402,7 +660,7 @@ class QGraphEngine:
         if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
             # Seraph-style: the very first barrier already spans all workers
             for w in range(self.cluster.num_workers):
-                if w not in qr.involved:
+                if w not in qr.involved and w not in self._dead_workers:
                     self.queue.schedule(
                         now + self._dispatch_cost() + self._ctrl_latency(w),
                         "ack_task_ready",
@@ -415,6 +673,18 @@ class QGraphEngine:
     # event: a compute task becomes ready on a worker
     # ------------------------------------------------------------------
     def _on_task_ready(self, now: float, query_id: int, worker: int) -> None:
+        if self._dead_workers and worker in self._dead_workers:
+            # crash-stop: the worker process is gone, the dispatch is void.
+            # If the dead worker owns this query's unconsumed shard the
+            # query is tainted (recovery re-dispatches it from the restored
+            # checkpoint); a stale duplicate dispatch loses nothing.
+            qr = self.runtimes[query_id]
+            if not qr.finished and qr.mailboxes.get(worker):
+                self._tainted_queries.add(query_id)
+            self._held_dead_tasks.append((query_id, worker))
+            if self.paused:
+                self._maybe_begin_stop(now)
+            return
         if self.paused:
             if self._query_paused(query_id) or self.runtimes[query_id].finished:
                 self._held_tasks.append((query_id, worker))
@@ -521,6 +791,8 @@ class QGraphEngine:
         for dest, count in result.remote_messages.items():
             link = self.cluster.link(worker, dest)
             arrival = finish + link.transfer_time(count)
+            if self.faults is not None:
+                arrival = self._faulty_transfer(link, count, arrival)
             qr.inbox_ready[dest] = max(qr.inbox_ready.get(dest, 0.0), arrival)
             self.trace.remote_messages += count
             self.trace.remote_batches += link.num_batches(count)
@@ -544,6 +816,21 @@ class QGraphEngine:
         self._inflight_remove(query_id, worker)
         qr = self.runtimes[query_id]
 
+        if self.faults is not None and worker in self._dead_workers:
+            # the worker crashed mid-compute: its results (messages already
+            # materialized into mailboxes, its barrier ack) died with it.
+            # The query is tainted — it must not finish before a recovery
+            # rolls it back to the last checkpoint and replays.
+            self._tainted_queries.add(query_id)
+            self.trace.lost_computes += 1
+            if self.config.sync_mode is SyncMode.SHARED_BSP:
+                self._bsp_outstanding -= 1
+                if self._bsp_outstanding == 0:
+                    self._bsp_resolve_superstep(now)
+            elif self.paused:
+                self._maybe_begin_stop(now)
+            return
+
         if self.config.sync_mode is SyncMode.SHARED_BSP:
             self._bsp_outstanding -= 1
             qr.acked.add(worker)
@@ -566,7 +853,7 @@ class QGraphEngine:
         else:
             self.trace.barrier_acks += 1
             self.queue.schedule(
-                now + self._ctrl_latency(worker),
+                now + self._ctrl_latency(worker) + self._control_delay(),
                 "barrier_ack",
                 query_id=query_id,
                 worker=worker,
@@ -586,6 +873,8 @@ class QGraphEngine:
             self.sanitizer.observe_epoch(query_id, qr.barrier_epoch, now)
         if epoch is not None and epoch != qr.barrier_epoch:
             return  # ack from a previous barrier generation (e.g. pre-STOP)
+        if self.sanitizer is not None and epoch is not None:
+            self.sanitizer.observe_ack_accepted(query_id, epoch, now)
         qr.acked.add(worker)
         required = self._required_ackers(qr)
         if required.issubset(qr.acked):
@@ -595,7 +884,13 @@ class QGraphEngine:
 
     def _required_ackers(self, qr: QueryRuntime) -> Set[int]:
         if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
-            return set(range(self.cluster.num_workers))
+            required = set(range(self.cluster.num_workers))
+            if self._dead_workers:
+                # dead non-involved workers are excused from the redundant
+                # ack round; a dead *involved* worker still blocks — the
+                # barrier strands until recovery rolls the query back
+                required -= self._dead_workers - qr.involved
+            return required
         return set(qr.involved)
 
     # ------------------------------------------------------------------
@@ -608,7 +903,7 @@ class QGraphEngine:
         # iteration too, so STOP/START does not misclassify multi-worker
         # iterations as local in the trace and controller statistics
         involved_count = len(qr.involved | qr.prior_participants)
-        self.controller.on_iteration(
+        self._report_controller_iteration(
             query_id,
             involved_count,
             self._activated.pop(query_id, []),
@@ -638,6 +933,11 @@ class QGraphEngine:
         qr.barrier_epoch += 1
         if self.sanitizer is not None:
             self.sanitizer.observe_epoch(query_id, qr.barrier_epoch, now)
+        if (
+            self.config.checkpoint_interval > 0
+            and qr.iteration % self.config.checkpoint_interval == 0
+        ):
+            self._capture_checkpoint(qr, now)
 
         if local and len(next_involved) == 1:
             # stay in local mode: continue immediately on the same worker
@@ -651,8 +951,9 @@ class QGraphEngine:
         self.trace.barrier_releases += 1
         if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
             # every worker takes part in the barrier, involved or not
+            # (currently-dead workers are excused by _required_ackers)
             for w in range(self.cluster.num_workers):
-                if w not in next_involved:
+                if w not in next_involved and w not in self._dead_workers:
                     self.queue.schedule(
                         now + self._ctrl_latency(w),
                         "ack_task_ready",
@@ -682,6 +983,8 @@ class QGraphEngine:
         global drain likewise processes in-flight acks).  Only graph
         compute is fenced off halted workers.
         """
+        if self._dead_workers and worker in self._dead_workers:
+            return  # crash-stop: a dead worker serves no control traffic
         qr = self.runtimes[query_id]
         if qr.finished:
             return
@@ -691,7 +994,7 @@ class QGraphEngine:
         _start, finish = w.occupy(now, self.cluster.machine.barrier_ack_time)
         self.trace.barrier_acks += 1
         self.queue.schedule(
-            finish + self._ctrl_latency(worker),
+            finish + self._ctrl_latency(worker) + self._control_delay(),
             "barrier_ack",
             query_id=query_id,
             worker=worker,
@@ -711,6 +1014,15 @@ class QGraphEngine:
         qr.agg_partials.clear()
 
     def _finish_query(self, query_id: int, now: float) -> None:
+        if self.faults is not None and query_id in self._tainted_queries:
+            # a query that lost compute results to a crash must strand at
+            # its barrier until recovery rolls it back; finishing instead
+            # means the fault protocol leaked a lossy answer
+            raise EngineError(
+                f"query {query_id} finished with crash-lost results "
+                "(tainted by a worker failure but never rolled back)"
+            )
+        self._checkpoints.pop(query_id, None)
         qr = self.runtimes[query_id]
         qr.finalize_state()
         qr.finished = True
@@ -829,10 +1141,18 @@ class QGraphEngine:
         self._bsp_participants: Set[int] = set()
         for query_id in sorted(self.running):
             qr = self.runtimes[query_id]
+            if self.faults is not None and query_id in self._tainted_queries:
+                continue  # frozen until recovery rolls it back
+            involved = set(qr.mailboxes)
+            if self._dead_workers and involved & self._dead_workers:
+                # part of the frontier lives on a crashed worker: freeze the
+                # whole query (its mailboxes stay intact for the rollback)
+                self._tainted_queries.add(query_id)
+                continue
             qr.acked = set()
             qr.computed = set()
             qr.prior_participants = set()
-            qr.involved = set(qr.mailboxes)
+            qr.involved = involved
             if qr.involved:
                 self._bsp_participants.add(query_id)
             for w in sorted(qr.involved):
@@ -850,6 +1170,15 @@ class QGraphEngine:
             )
 
     def _on_bsp_compute(self, now: float, query_id: int, worker: int) -> None:
+        if self._dead_workers and worker in self._dead_workers:
+            # the worker crashed after the superstep dispatched: its slice
+            # of the superstep is lost, the query freezes until rollback
+            self._tainted_queries.add(query_id)
+            self.trace.lost_computes += 1
+            self._bsp_outstanding -= 1
+            if self._bsp_outstanding == 0:
+                self._bsp_resolve_superstep(now)
+            return
         qr = self.runtimes[query_id]
         if worker not in qr.mailboxes:
             self._bsp_outstanding -= 1
@@ -859,14 +1188,16 @@ class QGraphEngine:
         self._execute_compute(qr, worker, now)
 
     def _bsp_resolve_superstep(self, now: float) -> None:
-        # every worker participates in the shared barrier
+        # every (live) worker participates in the shared barrier
         ack_finish = now
         for w in self.workers:
+            if self._dead_workers and w.wid in self._dead_workers:
+                continue  # crash-stop: no ack from a dead worker
             _s, finish = w.occupy(w.busy_until, self.cluster.machine.barrier_ack_time)
             ack_finish = max(ack_finish, finish + self._ctrl_latency(w.wid))
         resolve = ack_finish + self._dispatch_cost()
         self.trace.barrier_releases += 1
-        self.trace.barrier_acks += self.cluster.num_workers
+        self.trace.barrier_acks += self.cluster.num_workers - len(self._dead_workers)
 
         # only queries that took part in this superstep advance; queries that
         # arrived mid-superstep keep their seed mailbox for the next one
@@ -874,9 +1205,14 @@ class QGraphEngine:
             qr = self.runtimes[query_id]
             if qr.finished:
                 continue
+            if self.faults is not None and query_id in self._tainted_queries:
+                # crash mid-superstep: results are incomplete, so the query
+                # does not advance — it stays frozen at this iteration until
+                # recovery restores its checkpoint
+                continue
             self._reduce_aggregators(qr)
             involved_count = len(qr.involved)
-            self.controller.on_iteration(
+            self._report_controller_iteration(
                 query_id,
                 involved_count,
                 self._activated.pop(query_id, []),
@@ -888,6 +1224,11 @@ class QGraphEngine:
             qr.iteration += 1
             if not qr.mailboxes:
                 self._finish_query(query_id, resolve)
+            elif (
+                self.config.checkpoint_interval > 0
+                and qr.iteration % self.config.checkpoint_interval == 0
+            ):
+                self._capture_checkpoint(qr, resolve)
         self._bsp_participants = set()
         self._bsp_in_progress = False
         if not self.paused:
@@ -908,7 +1249,10 @@ class QGraphEngine:
     # adaptation: async Q-cut + global STOP/START barrier (§3.4)
     # ------------------------------------------------------------------
     def _maybe_trigger_adaptation(self, now: float) -> None:
-        if not self.config.adaptive or self.paused:
+        if not self.config.adaptive or self.paused or self._controller_down:
+            # a crashed controller degrades gracefully to the static
+            # fallback: workers keep executing, adaptivity resumes at the
+            # first barrier after the controller recovers
             return
         if self.controller.should_trigger_qcut(now, self.assignment):
             duration = self.controller.begin_qcut(self.assignment, now)
@@ -918,6 +1262,11 @@ class QGraphEngine:
     def _on_qcut_done(self, now: float) -> None:
         plan = self.controller.complete_qcut(now)
         if not plan:
+            return
+        if self._controller_down or self.paused:
+            # the planning controller crashed mid-Q-cut, or a crash-recovery
+            # barrier took the pause in the meantime: discard the plan (the
+            # post-recovery Q-cut replans against fresh state)
             return
         self._pending_plan = plan
         self.paused = True
@@ -955,7 +1304,8 @@ class QGraphEngine:
                 if not self._stop_workers.isdisjoint(per_worker):
                     return
         self._stop_scheduled = True
-        # STOP barrier: the halted workers ack the halt
+        # STOP barrier: the halted workers ack the halt (a crashed worker
+        # cannot ack — crash-stop counts as already halted)
         halted = (
             self.workers
             if self._stop_workers is None
@@ -963,6 +1313,8 @@ class QGraphEngine:
         )
         stop_time = now
         for w in halted:
+            if self._dead_workers and w.wid in self._dead_workers:
+                continue
             _s, finish = w.occupy(
                 max(w.busy_until, now), self.cluster.machine.barrier_ack_time
             )
@@ -970,6 +1322,11 @@ class QGraphEngine:
         self.queue.schedule(stop_time, "global_stop")
 
     def _on_global_stop(self, now: float) -> None:
+        if self._recovery_active:
+            # this STOP is a crash-recovery barrier: the cluster is drained,
+            # run the rollback instead of a repartition
+            self._do_recovery(now)
+            return
         plan = self._pending_plan
         self._pending_plan = None
         if plan is None:  # survives python -O, unlike the assert it replaces
@@ -990,6 +1347,12 @@ class QGraphEngine:
         # transfer concurrently)
         link_payloads: Dict[Tuple[int, int], int] = {}
         for move in plan.moves:
+            if self._dead_workers and (
+                move.src in self._dead_workers or move.dst in self._dead_workers
+            ):
+                # belt and braces with the controller-side filter: a crashed
+                # worker can neither ship nor receive migration state
+                continue
             mask = self.assignment[move.vertices] == move.src
             vertices = move.vertices[mask]
             if vertices.size == 0:
@@ -1046,10 +1409,16 @@ class QGraphEngine:
         self._held_tasks.clear()
         held_other = list(dict.fromkeys(self._held_other_tasks))
         self._held_other_tasks.clear()
+        #: stage R — queries a recovery rolled back to their checkpoint
+        restored = self._restored_queries
+        self._restored_queries = []
 
         if self.config.sync_mode is SyncMode.SHARED_BSP:
             self._admit_pending(now)
             self.queue.schedule(now, "bsp_next")
+            if self._recovering:
+                # a crash detected during this barrier waits its own turn
+                self._maybe_schedule_recovery(now)
             return
 
         # stage A: queries whose barrier resolution was deferred
@@ -1120,4 +1489,254 @@ class QGraphEngine:
                 query_id=query_id,
                 worker=w,
             )
+
+        # stage R (crash recovery): restored queries resume from their
+        # checkpoint — a fresh dispatch to the post-rollback mailbox owners,
+        # exactly like a query start (the restore already re-homed the
+        # mailboxes and fenced stale traffic with an epoch bump)
+        for query_id in restored:
+            qr = self.runtimes[query_id]
+            if qr.finished:
+                continue
+            for w in sorted(qr.involved):
+                self.queue.schedule(
+                    now + self._dispatch_cost() + self._ctrl_latency(w),
+                    "task_ready",
+                    query_id=query_id,
+                    worker=w,
+                )
+            if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+                for w in range(self.cluster.num_workers):
+                    if w not in qr.involved and w not in self._dead_workers:
+                        self.queue.schedule(
+                            now + self._dispatch_cost() + self._ctrl_latency(w),
+                            "ack_task_ready",
+                            query_id=query_id,
+                            worker=w,
+                            epoch=qr.barrier_epoch,
+                        )
         self._admit_pending(now)
+        if self._recovering:
+            # a crash detected while this barrier was in flight could not
+            # take the pause; start its recovery now that START released it
+            self._maybe_schedule_recovery(now)
+
+    # ------------------------------------------------------------------
+    # fault tolerance: crash events, detection, recovery barrier
+    # ------------------------------------------------------------------
+    def _on_worker_crash(
+        self, now: float, worker: int, downtime: Optional[float]
+    ) -> None:
+        """Crash-stop failure: the worker loses all volatile state.
+
+        Everything it holds — mailbox shards, in-flight compute results,
+        unsent barrier acks — is gone; queries whose footprint touches it
+        are tainted (frozen) until a recovery barrier rolls them back to
+        their last checkpoint.  Detection is *not* immediate: the
+        controller only learns of the crash at a heartbeat sweep after
+        ``heartbeat_timeout`` of silence.
+        """
+        self._pending_crash_events -= 1
+        if worker in self._dead_workers:
+            return  # crashed while already down: nothing further to lose
+        self._dead_workers.add(worker)
+        self._undetected_crashes[worker] = now
+        self.trace.worker_crashes += 1
+        self.controller.set_down_workers(frozenset(self._dead_workers))
+        # taint exactly the queries that lost state with this worker: an
+        # unconsumed current-generation mailbox shard, a next-generation
+        # shard, or a compute whose results now die in flight.  A worker
+        # that already computed *and sent* its barrier ack loses nothing
+        # (the ack is on the wire; crash-stop cannot retract it), so
+        # queries merely *involving* the worker are not tainted.
+        for query_id in sorted(self.running):
+            qr = self.runtimes[query_id]
+            lost_compute = worker in self._inflight.get(query_id, ())
+            lost_current = bool(qr.mailboxes.get(worker)) and worker not in qr.computed
+            lost_next = bool(qr.next_mailboxes.get(worker))
+            if lost_compute or lost_current or lost_next:
+                self._tainted_queries.add(query_id)
+        if downtime is not None:
+            self.queue.schedule(now + downtime, "worker_recover", worker=worker)
+
+    def _on_worker_recover(self, now: float, worker: int) -> None:
+        """The crashed worker rejoins with a fresh (empty) process.
+
+        Its pre-crash state is *not* back — the recovery barrier (already
+        detected or still pending in ``_undetected_crashes``) restores the
+        affected queries from checkpoints; rejoining only makes the worker
+        schedulable again.
+        """
+        if worker not in self._dead_workers:
+            return
+        self._dead_workers.discard(worker)
+        self.trace.worker_recoveries += 1
+        # fresh process: the old CPU reservation died with it
+        self.workers[worker].busy_until = now
+        self.controller.set_down_workers(frozenset(self._dead_workers))
+        if self.config.sync_mode is SyncMode.GLOBAL_PER_QUERY:
+            # rejoin the redundant ack round of every barrier in flight it
+            # was excused from; the ack is stamped with the epoch current
+            # when it fires, so post-rollback epochs drop stale rejoins
+            for query_id in sorted(self.running):
+                qr = self.runtimes[query_id]
+                if qr.finished or worker in qr.involved:
+                    continue
+                self.queue.schedule(
+                    now + self._ctrl_latency(worker),
+                    "ack_task_ready",
+                    query_id=query_id,
+                    worker=worker,
+                )
+
+    def _on_controller_crash(
+        self, now: float, downtime: Optional[float]
+    ) -> None:
+        """The controller crashes: adaptivity stops, execution does not.
+
+        Workers keep executing under the current (static) assignment;
+        barrier bookkeeping is engine state, so queries keep completing.
+        Stats reports sent while the controller is down are lost.
+        """
+        if self._controller_down:
+            return
+        self._controller_down = True
+        self.trace.controller_crashes += 1
+        if downtime is not None:
+            self.queue.schedule(now + downtime, "controller_recover")
+
+    def _on_controller_recover(self, now: float) -> None:
+        """Adaptivity resumes at the first barrier after this point."""
+        self._controller_down = False
+
+    def _on_heartbeat(self, now: float) -> None:
+        """Periodic crash-detection sweep (only active with crash plans).
+
+        A crashed worker is declared dead once silent for
+        ``heartbeat_timeout``; detected crashes queue a recovery barrier.
+        The sweep reschedules itself only while crashes are pending,
+        undetected, or awaiting recovery, so the event queue still
+        quiesces.
+        """
+        detected = False
+        for worker, crash_time in sorted(self._undetected_crashes.items()):
+            if now - crash_time >= self.config.heartbeat_timeout:
+                del self._undetected_crashes[worker]
+                self._recovering.append((worker, crash_time, now))
+                detected = True
+        if detected or self._recovering:
+            self._maybe_schedule_recovery(now)
+        if (
+            self._pending_crash_events > 0
+            or self._undetected_crashes
+            or self._recovering
+        ):
+            self.queue.schedule(
+                now + self.config.heartbeat_interval, "heartbeat"
+            )
+
+    def _maybe_schedule_recovery(self, now: float) -> None:
+        """Begin the recovery STOP once no other barrier owns the pause.
+
+        Reuses the STOP/START drain machinery: the cluster drains exactly
+        like a global repartition STOP, then ``_on_global_stop`` routes to
+        :meth:`_do_recovery` instead of a migration.
+        """
+        if not self._recovering or self.paused:
+            return
+        self.paused = True
+        self._recovery_active = True
+        self._stop_scheduled = False
+        self._stop_workers = None
+        self._stop_queries = set()
+        self._stop_begin_time = now
+        self._maybe_begin_stop(now)
+
+    def _do_recovery(self, now: float) -> None:
+        """Rollback at a drained recovery barrier (Pregel-style, §4.2 of
+        Malewicz et al.): re-home the dead workers' partitions onto the
+        survivors, restore *every* running query from its latest
+        checkpoint, and re-dispatch at the START that follows.
+
+        Classic (non-confined) recovery on purpose: all running queries
+        roll back, not just the tainted ones, because barrier-aligned
+        checkpoints of different queries are cut at different virtual
+        times and only a full rollback puts the whole engine on one
+        consistent cut.  Confined recovery is a ROADMAP item.
+        """
+        handled = self._recovering
+        self._recovering = []
+        self._recovery_active = False
+        k = self.cluster.num_workers
+        # workers still down now — one that already rejoined keeps its
+        # (empty) partitions and receives restored state like any survivor
+        dead_now = sorted(
+            {w for w, _crash, _detect in handled if w in self._dead_workers}
+        )
+        rehomed = 0
+        duration = 0.0
+        if dead_now:
+            live = [w for w in range(k) if w not in self._dead_workers]
+            if not live:
+                raise EngineError(
+                    "every worker is down — recovery has no survivors to "
+                    "re-home partitions onto"
+                )
+            vids = np.flatnonzero(np.isin(self.assignment, dead_now))
+            if vids.size:
+                targets = np.asarray(live, dtype=np.int64)[
+                    np.arange(vids.size) % len(live)
+                ]
+                self.assignment[vids] = targets
+                rehomed = int(vids.size)
+                # reloading a partition from stable storage rides the
+                # controller link of its new owner; links load concurrently
+                payloads = np.bincount(targets, minlength=k)
+                for dst in live:
+                    payload = int(payloads[dst]) * self.config.vertex_state_bytes
+                    if payload == 0:
+                        continue
+                    link = self.cluster.controller_link(dst)
+                    duration = max(duration, link.latency + payload / link.bandwidth)
+        restored: List[int] = []
+        rolled_iters = 0
+        for query_id in sorted(self.running):
+            qr = self.runtimes[query_id]
+            ck = self._checkpoints.get(query_id)
+            if ck is None:  # _start_query always captures a baseline
+                raise EngineError(
+                    f"running query {query_id} has no checkpoint at recovery"
+                )
+            rolled_iters += ck.restore(qr, self.assignment)
+            qr.grow(self.graph.num_vertices)
+            self._activated[query_id] = []
+            restored.append(query_id)
+            if self.sanitizer is not None:
+                self.sanitizer.on_query_restored(
+                    query_id, qr, ck.fingerprint, self.assignment, now
+                )
+        # every pre-crash dispatch/resolution is void: the rollback fenced
+        # them with an epoch bump and stage R re-dispatches from scratch
+        self._tainted_queries.clear()
+        self._held_dead_tasks.clear()
+        self._held_resolutions.clear()
+        self._held_tasks.clear()
+        self._held_other_tasks.clear()
+        self._restored_queries = restored
+        self.scheduler.on_assignment_changed(self.assignment)
+        self.controller.set_down_workers(frozenset(self._dead_workers))
+        detection = max(
+            (detect - crash for _w, crash, detect in handled), default=0.0
+        )
+        self.trace.recovered(
+            RecoveryRecord(
+                time=now,
+                workers=tuple(sorted(w for w, _crash, _detect in handled)),
+                detection_latency=detection,
+                queries_rolled_back=len(restored),
+                iterations_rolled_back=rolled_iters,
+                rehomed_vertices=rehomed,
+                stall_duration=(now + duration) - self._stop_begin_time,
+            )
+        )
+        self.queue.schedule(now + duration, "global_start")

@@ -40,6 +40,7 @@ __all__ = [
     "QueryKernel",
     "group_by_owner",
     "contribute_partial",
+    "copy_kernel_state",
     "SsspKernel",
     "BfsKernel",
     "KHopKernel",
@@ -157,8 +158,32 @@ class ArrayMailbox:
             np.concatenate(self._message_chunks),
         )
 
+    def clone(self) -> "ArrayMailbox":
+        """Deep copy for checkpointing: chunks are snapshotted, not shared.
+
+        Producers append fresh arrays and never mutate delivered chunks, but
+        a checkpoint must survive the runtime being rolled back and replayed
+        — so the chunk arrays themselves are copied.
+        """
+        out = ArrayMailbox()
+        out._vertex_chunks = [c.copy() for c in self._vertex_chunks]
+        out._message_chunks = [c.copy() for c in self._message_chunks]
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArrayMailbox(pending={len(self)})"
+
+
+def copy_kernel_state(state: Any) -> Any:
+    """Deep-copy a kernel's dense state (ndarray or tuple of ndarrays).
+
+    Used by the checkpoint layer; ``None`` (no kernel state) passes through.
+    """
+    if state is None:
+        return None
+    if isinstance(state, tuple):
+        return tuple(part.copy() for part in state)
+    return state.copy()
 
 
 class QueryKernel(abc.ABC):

@@ -237,6 +237,22 @@ class QueryRuntime:
                             dest[v] = msg
             setattr(self, attr, fresh)
 
+    def reset_barrier_protocol(self) -> None:
+        """Invalidate all in-flight barrier traffic for this query.
+
+        Used by crash recovery after a checkpoint restore: the epoch bump
+        makes every pre-rollback ack stale (the same mechanism that fences
+        acks across a STOP/START barrier), and the participant bookkeeping
+        restarts from the restored iteration.
+        """
+        self.acked = set()
+        self.computed = set()
+        self.prior_participants = set()
+        self.inbox_ready = {}
+        self.agg_partials = {}
+        self.barrier_epoch += 1
+        self.release_pending = False
+
     def grow(self, new_n: int) -> None:
         """Extend the dense kernel buffers after a graph mutation appended
         vertices (no-op on the generic path, whose state dict is sparse)."""

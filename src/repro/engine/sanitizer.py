@@ -39,6 +39,15 @@ Invariant catalog
 ``csr-integrity``
     The cached ``csr()``/``csr_in()`` views only change at a legitimate
     delta flush (catches out-of-band mutation of the shared arrays).
+``crash-epoch``
+    No compute executes on a crashed worker, and no barrier ack issued
+    before a crash-recovery rollback (epoch at or below the rollback
+    fence) is ever accepted — a dead worker's pre-crash traffic must not
+    complete a post-recovery barrier.
+``recovery-conservation``
+    Restoring a checkpoint reproduces the checkpointed message multiset
+    exactly and homes every restored mailbox entry on the post-recovery
+    assignment — conservation is re-established after recovery.
 """
 
 from __future__ import annotations
@@ -154,6 +163,9 @@ class SimulationSanitizer:
         self.engine = engine
         #: query id -> highest barrier epoch observed so far
         self._epochs: Dict[int, int] = {}
+        #: query id -> epoch fence recorded at the last checkpoint restore;
+        #: accepted acks must carry a strictly newer epoch (crash-epoch)
+        self._rollback_fences: Dict[int, int] = {}
         #: number of invariant checks performed (cheap observability)
         self.checks_performed = 0
         self._csr_fingerprint = self._fingerprint_csr()
@@ -211,6 +223,7 @@ class SimulationSanitizer:
 
     def on_query_finished(self, query_id: int) -> None:
         self._epochs.pop(query_id, None)
+        self._rollback_fences.pop(query_id, None)
 
     # ------------------------------------------------------------------
     # halted-compute
@@ -225,6 +238,15 @@ class SimulationSanitizer:
         """
         self.checks_performed += 1
         engine = self.engine
+        if worker in engine._dead_workers:
+            raise SanitizerError(
+                "crash-epoch",
+                "compute executed on a crashed worker",
+                time=now,
+                query_id=query_id,
+                worker=worker,
+                details={"dead_workers": sorted(engine._dead_workers)},
+            )
         if not engine.paused:
             return
         if engine.config.sync_mode is SyncMode.SHARED_BSP:
@@ -333,6 +355,90 @@ class SimulationSanitizer:
                                 "stray_vertices": stray[:8].tolist(),
                             },
                         )
+
+    # ------------------------------------------------------------------
+    # crash-epoch + recovery-conservation (fault tolerance)
+    # ------------------------------------------------------------------
+    def checkpoint_fingerprint(
+        self, qr: "QueryRuntime"
+    ) -> Tuple[_BoxFingerprint, _BoxFingerprint]:
+        """Fingerprint both mailbox generations at checkpoint capture."""
+        return (
+            _mailbox_fingerprint(qr.mailboxes),
+            _mailbox_fingerprint(qr.next_mailboxes),
+        )
+
+    def on_query_restored(
+        self,
+        query_id: int,
+        qr: "QueryRuntime",
+        fingerprint: Optional[Tuple[_BoxFingerprint, _BoxFingerprint]],
+        assignment: np.ndarray,
+        now: float,
+    ) -> None:
+        """Post-restore: the checkpointed messages came back, re-homed.
+
+        Also records the rollback fence — every barrier ack accepted for
+        this query from now on must carry an epoch strictly above the
+        pre-restore epoch (the restore bumped it), otherwise pre-crash
+        traffic is completing post-recovery barriers (``crash-epoch``).
+        """
+        self._rollback_fences[query_id] = qr.barrier_epoch - 1
+        # the restore legitimately re-bases the observed epoch
+        self._epochs[query_id] = qr.barrier_epoch
+        if fingerprint is not None:
+            for generation, pre_fp, boxes in (
+                ("mailboxes", fingerprint[0], qr.mailboxes),
+                ("next_mailboxes", fingerprint[1], qr.next_mailboxes),
+            ):
+                self.checks_performed += 1
+                post_vertices, _exact = _mailbox_fingerprint(boxes)
+                pre_vertices, _pre_exact = pre_fp
+                if not np.array_equal(pre_vertices, post_vertices):
+                    raise SanitizerError(
+                        "recovery-conservation",
+                        f"checkpoint restore changed the {generation} message "
+                        "targets (messages lost or fabricated by rollback)",
+                        time=now,
+                        query_id=query_id,
+                        details={
+                            "generation": generation,
+                            "before": int(pre_vertices.size),
+                            "after": int(post_vertices.size),
+                        },
+                    )
+        for worker, box in qr.mailboxes.items():
+            self.checks_performed += 1
+            if isinstance(box, ArrayMailbox):
+                vertices, _messages = box.concat()
+            else:
+                vertices = np.fromiter(box.keys(), dtype=np.int64, count=len(box))
+            if vertices.size and not np.all(assignment[vertices] == worker):
+                stray = vertices[assignment[vertices] != worker]
+                raise SanitizerError(
+                    "recovery-conservation",
+                    "restored mailbox entries homed on the wrong worker",
+                    time=now,
+                    query_id=query_id,
+                    worker=worker,
+                    details={"stray_vertices": stray[:8].tolist()},
+                )
+
+    def observe_ack_accepted(self, query_id: int, epoch: int, now: float) -> None:
+        """An accepted barrier ack must postdate any rollback fence."""
+        fence = self._rollback_fences.get(query_id)
+        if fence is None:
+            return
+        self.checks_performed += 1
+        if epoch <= fence:
+            raise SanitizerError(
+                "crash-epoch",
+                "barrier ack from before a crash-recovery rollback was "
+                "accepted",
+                time=now,
+                query_id=query_id,
+                details={"fence_epoch": fence, "ack_epoch": epoch},
+            )
 
     # ------------------------------------------------------------------
     # scope-liveness + state-shape (graph flush)

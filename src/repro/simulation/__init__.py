@@ -2,11 +2,13 @@
 
 from repro.simulation.cluster import C1_NODE, ClusterSpec, M1, M2, MachineProfile, make_cluster
 from repro.simulation.events import Event, EventQueue
+from repro.simulation.faults import ControllerCrash, FaultPlan, WorkerCrash
 from repro.simulation.network import NetworkModel, ethernet_1g, loopback_tcp, zero_cost
 from repro.simulation.tracing import (
     GraphChurnRecord,
     MetricsTrace,
     QueryRecord,
+    RecoveryRecord,
     RepartitionRecord,
 )
 
@@ -19,6 +21,9 @@ __all__ = [
     "C1_NODE",
     "Event",
     "EventQueue",
+    "FaultPlan",
+    "WorkerCrash",
+    "ControllerCrash",
     "NetworkModel",
     "loopback_tcp",
     "ethernet_1g",
@@ -27,4 +32,5 @@ __all__ = [
     "QueryRecord",
     "RepartitionRecord",
     "GraphChurnRecord",
+    "RecoveryRecord",
 ]

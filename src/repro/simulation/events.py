@@ -38,6 +38,11 @@ class EventQueue:
         self._heap: list = []
         self._seq = 0
         self._cancelled: set = set()
+        #: seqs currently sitting in the heap (not yet popped, not cancelled);
+        #: guards ``cancel`` against already-popped or double-cancelled events,
+        #: which would otherwise leave a stale seq in ``_cancelled`` forever
+        #: and permanently undercount ``__len__``
+        self._live: set = set()
         self._now = 0.0
 
     @property
@@ -57,11 +62,19 @@ class EventQueue:
         event = Event(time=max(time, self._now), seq=self._seq, kind=kind, payload=payload)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._live.add(event.seq)
         return event
 
     def cancel(self, event: Event) -> None:
-        """Mark an event so it is skipped when popped."""
-        self._cancelled.add(event.seq)
+        """Mark an event so it is skipped when popped.
+
+        Idempotent, and a no-op for events that were already popped: only a
+        seq still live in the heap moves to the cancelled set, so ``__len__``
+        stays exact no matter how often (or how late) callers cancel.
+        """
+        if event.seq in self._live:
+            self._live.discard(event.seq)
+            self._cancelled.add(event.seq)
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest pending event, or None when empty."""
@@ -70,6 +83,7 @@ class EventQueue:
             if event.seq in self._cancelled:
                 self._cancelled.discard(event.seq)
                 continue
+            self._live.discard(event.seq)
             self._now = event.time
             return event
         return None

@@ -61,6 +61,14 @@ class NetworkModel:
     message_bytes: int = 64
     batch_messages: int = 32
     batch_bytes: int = 32 * 1024
+    #: per-batch probability that a vertex-message batch is lost on the wire
+    #: and must be retransmitted (fault injection; sampled by the engine's
+    #: fault RNG stream, never here — the model stays stateless). A
+    #: :class:`~repro.simulation.faults.FaultPlan` may override it globally.
+    drop_probability: float = 0.0
+    #: per-batch probability that a batch is delivered twice (the receiver
+    #: detects and discards the duplicate, paying wire + dedup cost only)
+    duplicate_probability: float = 0.0
     name: str = "custom"
 
     def __post_init__(self) -> None:
@@ -68,6 +76,10 @@ class NetworkModel:
             raise ValueError("latency must be >= 0 and bandwidth > 0")
         if self.batch_messages < 1 or self.batch_bytes < self.message_bytes:
             raise ValueError("batching limits too small")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
 
     # ------------------------------------------------------------------
     def num_batches(self, num_messages: int) -> int:
@@ -110,6 +122,15 @@ class NetworkModel:
     def control_rtt(self) -> float:
         """Round-trip of a control exchange (ack to controller + release)."""
         return 2.0 * self.control_latency
+
+    def retransmit_delay(self, num_messages: int) -> float:
+        """Extra delivery delay when a batch of ``num_messages`` is dropped.
+
+        The sender notices the loss after an ack-timeout round trip and puts
+        the batch back on the wire — reliable transport turns a drop into
+        latency, never into lost content.
+        """
+        return self.control_rtt() + self.transfer_time(num_messages)
 
 
 def loopback_tcp() -> NetworkModel:

@@ -16,7 +16,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["QueryRecord", "RepartitionRecord", "GraphChurnRecord", "MetricsTrace"]
+__all__ = [
+    "QueryRecord",
+    "RepartitionRecord",
+    "GraphChurnRecord",
+    "RecoveryRecord",
+    "MetricsTrace",
+]
 
 
 @dataclass
@@ -87,6 +93,29 @@ class GraphChurnRecord:
     dropped_messages: int = 0
 
 
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One crash-recovery barrier (detection -> rollback -> replay start).
+
+    ``stall_duration`` is the honest disruption window, measured like the
+    repartition stall: from the moment the recovery STOP begins holding
+    tasks until the START that resumes the restored queries.  Rolled-back
+    iterations are *replayed* after the START, so their cost shows up in the
+    ordinary latency records — this record only accounts the extra stall.
+    """
+
+    time: float
+    #: crashed workers handled by this recovery barrier
+    workers: Tuple[int, ...]
+    #: crash -> heartbeat detection, max over the handled crashes
+    detection_latency: float
+    queries_rolled_back: int
+    iterations_rolled_back: int
+    #: vertices re-homed off the dead workers onto the survivors
+    rehomed_vertices: int
+    stall_duration: float
+
+
 @dataclass
 class MetricsTrace:
     """Mutable metrics sink passed through the engine."""
@@ -95,11 +124,28 @@ class MetricsTrace:
     queries: Dict[int, QueryRecord] = field(default_factory=dict)
     repartitions: List[RepartitionRecord] = field(default_factory=list)
     churn_events: List[GraphChurnRecord] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
     local_messages: int = 0
     remote_messages: int = 0
     remote_batches: int = 0
     barrier_acks: int = 0
     barrier_releases: int = 0
+    # ---- fault-injection accounting (all zero on fault-free runs) ----
+    #: vertex-message batches lost on the wire and retransmitted
+    dropped_batches: int = 0
+    #: duplicated batches delivered and discarded by the receiver
+    duplicated_batches: int = 0
+    #: control messages (barrier acks / redundant acks) retransmitted
+    control_retries: int = 0
+    #: per-barrier stats reports that never reached the controller
+    lost_reports: int = 0
+    #: compute tasks whose results died with their worker
+    lost_computes: int = 0
+    #: barrier-aligned checkpoints written
+    checkpoints_taken: int = 0
+    worker_crashes: int = 0
+    worker_recoveries: int = 0
+    controller_crashes: int = 0
     #: (worker, bucket) -> number of vertex executions
     _workload: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
@@ -130,6 +176,9 @@ class MetricsTrace:
 
     def graph_updated(self, record: GraphChurnRecord) -> None:
         self.churn_events.append(record)
+
+    def recovered(self, record: RecoveryRecord) -> None:
+        self.recoveries.append(record)
 
     # ------------------------------------------------------------------
     # aggregations used by the benchmark harness
@@ -176,6 +225,10 @@ class MetricsTrace:
                 if not np.isnan(r.stall_duration)
             )
         )
+
+    def total_recovery_stall(self) -> float:
+        """Sum of crash-recovery stalls (STOP-begin -> START)."""
+        return float(sum(r.stall_duration for r in self.recoveries))
 
     def mean_locality(self) -> float:
         """Average per-query locality (Fig. 6f / §4.2 claims)."""

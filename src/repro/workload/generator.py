@@ -29,6 +29,7 @@ from repro.engine.query import Query
 from repro.errors import WorkloadError
 from repro.graph.delta import GraphDelta, NewVertexSpec
 from repro.graph.road_network import RoadNetwork
+from repro.simulation.faults import FAULT_STREAM_KEY, FaultPlan, WorkerCrash
 from repro.queries.bfs import BfsProgram
 from repro.queries.khop import KHopProgram
 from repro.queries.pagerank_local import LocalPageRankProgram
@@ -263,6 +264,11 @@ class WorkloadGenerator:
         #: the graph-churn stream — again separate, so enabling churn
         #: leaves both the endpoint and the arrival sequences untouched
         self._churn_rng = np.random.default_rng([seed, 0xC4C4])
+        #: the fault-schedule stream — crash times/victims are drawn here,
+        #: never from the workload or churn streams, so adding a fault plan
+        #: leaves the generated queries and churn events bit-identical
+        self._fault_rng = np.random.default_rng([seed, FAULT_STREAM_KEY])
+        self._seed = seed
         #: initial edge arrays for churn-op sampling (built lazily)
         self._churn_edges: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._next_id = id_offset
@@ -442,6 +448,51 @@ class WorkloadGenerator:
             trace.churn.extend(self._phase_churn(phase, arrivals))
         trace.churn.sort(key=lambda e: e[0])
         return trace
+
+    # ------------------------------------------------------------------
+    # fault schedules
+    # ------------------------------------------------------------------
+    def fault_plan(
+        self,
+        num_workers: int,
+        crashes: int = 1,
+        window: Tuple[float, float] = (0.05, 0.5),
+        downtime: Optional[float] = None,
+        message_drop: Optional[float] = None,
+        message_duplicate: Optional[float] = None,
+        control_loss: float = 0.0,
+        report_loss: float = 0.0,
+    ) -> FaultPlan:
+        """A deterministic fault schedule matched to this workload's seed.
+
+        Crash times are drawn uniformly over ``window`` (sorted, so the
+        schedule reads chronologically) and victims uniformly over the
+        workers, all on the dedicated fault RNG stream.  The returned
+        plan's own seed is the generator's, so the engine-side fault draws
+        (drops, duplicates, control loss) are reproducible too.
+        """
+        if num_workers < 1:
+            raise WorkloadError("fault_plan needs num_workers >= 1")
+        if crashes < 0:
+            raise WorkloadError("crashes must be non-negative")
+        lo, hi = float(window[0]), float(window[1])
+        if not 0.0 <= lo <= hi:
+            raise WorkloadError("fault window must satisfy 0 <= lo <= hi")
+        times = np.sort(self._fault_rng.uniform(lo, hi, size=crashes))
+        victims = self._fault_rng.integers(0, num_workers, size=crashes)
+        return FaultPlan(
+            seed=self._seed,
+            crashes=tuple(
+                WorkerCrash(
+                    time=float(t), worker=int(w), downtime=downtime
+                )
+                for t, w in zip(times, victims)
+            ),
+            message_drop=message_drop,
+            message_duplicate=message_duplicate,
+            control_loss=control_loss,
+            report_loss=report_loss,
+        )
 
     # ------------------------------------------------------------------
     # canned workloads matching the paper's experiments

@@ -226,6 +226,51 @@ class TestShadowBuiltin:
 
 
 # ----------------------------------------------------------------------
+# swallowed-error
+# ----------------------------------------------------------------------
+class TestSwallowedError:
+    def test_bare_except_pass_flagged(self):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        assert rules_of(lint_source(src)) == ["swallowed-error"]
+
+    def test_except_exception_pass_flagged(self):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert rules_of(lint_source(src)) == ["swallowed-error"]
+
+    def test_tuple_containing_exception_flagged(self):
+        src = "try:\n    work()\nexcept (KeyError, Exception):\n    pass\n"
+        assert rules_of(lint_source(src)) == ["swallowed-error"]
+
+    def test_docstring_and_ellipsis_body_flagged(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except BaseException:\n"
+            "    '''nothing to do'''\n"
+            "    ...\n"
+        )
+        assert rules_of(lint_source(src)) == ["swallowed-error"]
+
+    def test_narrow_handler_allowed(self):
+        src = "try:\n    work()\nexcept KeyError:\n    pass\n"
+        assert lint_source(src) == []
+
+    def test_broad_handler_with_real_handling_allowed(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    failures += 1\n"
+            "    raise\n"
+        )
+        assert lint_source(src) == []
+
+    def test_tests_role_exempt(self):
+        src = "try:\n    work()\nexcept Exception:\n    pass\n"
+        assert lint_source(src, role="tests") == []
+
+
+# ----------------------------------------------------------------------
 # untyped-def
 # ----------------------------------------------------------------------
 class TestUntypedDef:
@@ -339,6 +384,7 @@ class TestFramework:
             "mutable-default",
             "unordered-iteration",
             "shadow-builtin",
+            "swallowed-error",
             "untyped-def",
         }
         for rule in all_rules().values():

@@ -1,0 +1,448 @@
+"""Fault-tolerance subsystem: injection, checkpoints, crash recovery.
+
+The contract of the subsystem:
+
+* **zero-fault identity** — an engine built with a no-op :class:`FaultPlan`
+  is event-for-event identical to one built with no fault layer at all;
+* **recovery identity** — a run with injected crashes returns, for every
+  query, answers bit-identical to a fault-free run of the same
+  configuration (same ``checkpoint_interval``): rollback + replay is
+  exactly-once at the answer level;
+* **reliable data plane** — message drop/duplication changes timing, never
+  content;
+* **composability** — recovery works under both repartition modes, all
+  sync modes, all four admission schedulers, and racing graph churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import Controller, ControllerConfig
+from repro.engine.barriers import SyncMode
+from repro.engine.checkpoint import QueryCheckpoint
+from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.errors import EngineError, SimulationError
+from repro.graph import MutableDiGraph
+from repro.graph.road_network import generate_road_network
+from repro.partitioning import HashPartitioner
+from repro.simulation.cluster import make_cluster
+from repro.simulation.faults import ControllerCrash, FaultPlan, WorkerCrash
+from repro.workload.generator import PhaseSpec, WorkloadGenerator
+
+
+def _controller_config(**overrides):
+    base = dict(
+        mu=0.5,
+        phi=0.9,
+        delta=0.25,
+        max_tracked_queries=64,
+        qcut_compute_time=0.002,
+        qcut_cooldown=0.01,
+        min_queries_for_qcut=6,
+        ils_rounds=30,
+        seed=0,
+    )
+    base.update(overrides)
+    return ControllerConfig(**base)
+
+
+def _road_network():
+    return generate_road_network(
+        num_cities=4,
+        num_urban_vertices=1200,
+        seed=13,
+        region_size=60.0,
+        zipf_exponent=0.5,
+    )
+
+
+def _build_engine(
+    graph,
+    k=4,
+    faults=None,
+    checkpoint_interval=0,
+    adaptive=False,
+    sync_mode=SyncMode.HYBRID,
+    repartition_mode="global",
+    scheduler="fifo",
+    max_events=50_000_000,
+):
+    assignment = HashPartitioner(seed=0).partition(graph, k)
+    controller = Controller(k, _controller_config())
+    return QGraphEngine(
+        graph,
+        make_cluster("M2", k),
+        assignment,
+        controller=controller,
+        config=EngineConfig(
+            adaptive=adaptive,
+            sync_mode=sync_mode,
+            repartition_mode=repartition_mode,
+            scheduler=scheduler,
+            checkpoint_interval=checkpoint_interval,
+            max_events=max_events,
+        ),
+        faults=faults,
+    )
+
+
+def _fingerprint(engine, trace):
+    return (
+        {
+            qid: (r.start_time, r.end_time, r.iterations, r.local_iterations)
+            for qid, r in trace.queries.items()
+        },
+        [(r.time, r.moved_vertices, r.num_moves) for r in trace.repartitions],
+        trace.local_messages,
+        trace.remote_messages,
+        trace.remote_batches,
+        trace.barrier_acks,
+        trace.barrier_releases,
+        engine._events_processed,
+    )
+
+
+def _run(rn, graph=None, kind="sssp", num_queries=32, churn_rate=0.0,
+         churn_span=0.4, seed=5, **engine_kwargs):
+    """Build, submit a workload, run to quiescence; return engine+results."""
+    engine = _build_engine(rn.graph if graph is None else graph, **engine_kwargs)
+    workload = WorkloadGenerator(rn, seed=seed).generate(
+        [
+            PhaseSpec(
+                num_queries=num_queries,
+                kind=kind,
+                label="faults",
+                churn_rate=churn_rate,
+                churn_span=churn_span,
+            )
+        ]
+    )
+    workload.submit_all(engine)
+    trace = engine.run()
+    results = {
+        q.query_id: engine.query_result(q.query_id) for q in workload.queries()
+    }
+    return engine, trace, results
+
+
+def _assert_identical_results(faulty, clean):
+    assert faulty.keys() == clean.keys()
+    for qid in sorted(clean):
+        assert faulty[qid] == clean[qid], f"query {qid} diverged"
+
+
+# ----------------------------------------------------------------------
+# fault-plan construction and validation
+# ----------------------------------------------------------------------
+class TestFaultPlanValidation:
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkerCrash(time=-1.0, worker=0)
+
+    def test_zero_downtime_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkerCrash(time=0.1, worker=0, downtime=0.0)
+        with pytest.raises(SimulationError):
+            ControllerCrash(time=0.1, downtime=-1.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(message_drop=1.0)
+        with pytest.raises(SimulationError):
+            FaultPlan(control_loss=-0.1)
+
+    def test_validate_for_rejects_out_of_range_worker(self):
+        plan = FaultPlan(crashes=(WorkerCrash(time=0.1, worker=7),))
+        with pytest.raises(SimulationError, match="only 4 workers"):
+            plan.validate_for(4)
+
+    def test_validate_for_rejects_total_permanent_loss(self):
+        plan = FaultPlan(
+            crashes=tuple(WorkerCrash(time=0.1, worker=w) for w in range(2))
+        )
+        with pytest.raises(SimulationError, match="every worker"):
+            plan.validate_for(2)
+
+    def test_noop_detection(self):
+        assert FaultPlan().is_noop()
+        assert FaultPlan(message_drop=0.0, control_loss=0.0).is_noop()
+        assert not FaultPlan(crashes=(WorkerCrash(time=0.1, worker=0),)).is_noop()
+        assert not FaultPlan(message_drop=0.1).is_noop()
+
+    def test_crashes_require_checkpointing(self):
+        rn = _road_network()
+        plan = FaultPlan(crashes=(WorkerCrash(time=0.1, worker=0),))
+        with pytest.raises(EngineError, match="checkpoint_interval"):
+            _build_engine(rn.graph, faults=plan, checkpoint_interval=0)
+
+    def test_generator_fault_plan_deterministic(self):
+        rn = _road_network()
+        a = WorkloadGenerator(rn, seed=9).fault_plan(num_workers=4, crashes=3)
+        b = WorkloadGenerator(rn, seed=9).fault_plan(num_workers=4, crashes=3)
+        assert a == b
+        assert len(a.crashes) == 3
+        assert all(c.worker < 4 for c in a.crashes)
+        times = [c.time for c in a.crashes]
+        assert times == sorted(times)
+        # a different seed draws a different schedule
+        c = WorkloadGenerator(rn, seed=10).fault_plan(num_workers=4, crashes=3)
+        assert a != c
+
+    def test_generator_fault_plan_independent_of_workload_draws(self):
+        rn = _road_network()
+        g1 = WorkloadGenerator(rn, seed=9)
+        g1.generate([PhaseSpec(num_queries=8, kind="sssp")])
+        g2 = WorkloadGenerator(rn, seed=9)
+        assert g1.fault_plan(num_workers=4) == g2.fault_plan(num_workers=4)
+
+
+# ----------------------------------------------------------------------
+# checkpoint capture/restore
+# ----------------------------------------------------------------------
+class TestCheckpoint:
+    def test_capture_restore_roundtrip(self):
+        rn = _road_network()
+        engine, trace, _ = _run(rn, num_queries=8, checkpoint_interval=2)
+        assert trace.checkpoints_taken > 0
+        qid, qr = next(iter(sorted(engine.runtimes.items())))
+        ck = QueryCheckpoint.capture(qr)
+        saved_iter, saved_state = qr.iteration, dict(qr.state)
+        qr.iteration += 3
+        qr.state = {}
+        rolled = ck.restore(qr, engine.assignment)
+        assert rolled == 3
+        assert qr.iteration == saved_iter
+        assert qr.state == saved_state
+        assert qr.involved == set(qr.mailboxes)
+
+    def test_restore_rehomes_mailboxes(self):
+        rn = _road_network()
+        engine, _, _ = _run(rn, num_queries=8, checkpoint_interval=2)
+        qr = next(iter(engine.runtimes.values()))
+        ck = QueryCheckpoint.capture(qr)
+        # move every vertex to worker 0: the restored boxes must follow
+        assignment = np.zeros_like(engine.assignment)
+        ck.restore(qr, assignment)
+        assert set(qr.mailboxes) <= {0}
+
+    def test_restore_is_repeatable(self):
+        """The checkpoint survives its own restore (copies go out)."""
+        rn = _road_network()
+        engine, _, _ = _run(rn, num_queries=8, checkpoint_interval=2)
+        qr = next(iter(engine.runtimes.values()))
+        ck = QueryCheckpoint.capture(qr)
+        before = ck.message_count()
+        ck.restore(qr, engine.assignment)
+        qr.state.clear()
+        ck.restore(qr, engine.assignment)
+        assert ck.message_count() == before
+
+
+# ----------------------------------------------------------------------
+# zero-fault identity
+# ----------------------------------------------------------------------
+class TestZeroFaultIdentity:
+    @pytest.mark.parametrize(
+        "sync_mode",
+        [SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY, SyncMode.SHARED_BSP],
+    )
+    def test_noop_plan_is_event_for_event_identical(self, sync_mode):
+        rn = _road_network()
+        e1, t1, r1 = _run(rn, sync_mode=sync_mode)
+        e2, t2, r2 = _run(rn, sync_mode=sync_mode, faults=FaultPlan(seed=1))
+        assert e2.faults is None  # normalized away at construction
+        assert _fingerprint(e1, t1) == _fingerprint(e2, t2)
+        _assert_identical_results(r2, r1)
+
+    def test_checkpointing_alone_does_not_change_answers(self):
+        rn = _road_network()
+        _, t1, r1 = _run(rn)
+        _, t2, r2 = _run(rn, checkpoint_interval=2)
+        assert t2.checkpoints_taken > 0
+        assert t1.checkpoints_taken == 0
+        _assert_identical_results(r2, r1)
+
+
+# ----------------------------------------------------------------------
+# runaway-event budget diagnostics
+# ----------------------------------------------------------------------
+class TestEventBudget:
+    def test_budget_error_carries_engine_state(self):
+        rn = _road_network()
+        engine = _build_engine(rn.graph, max_events=50)
+        workload = WorkloadGenerator(rn, seed=5).generate(
+            [PhaseSpec(num_queries=16, kind="sssp")]
+        )
+        workload.submit_all(engine)
+        with pytest.raises(EngineError) as excinfo:
+            engine.run()
+        message = str(excinfo.value)
+        for field in ("t=", "queue_len=", "running=", "outstanding_computes="):
+            assert field in message
+
+
+# ----------------------------------------------------------------------
+# crash + recovery
+# ----------------------------------------------------------------------
+def _crash_plan(makespan, worker=1, at=0.3, downtime=None, **kwargs):
+    return FaultPlan(
+        seed=0,
+        crashes=(
+            WorkerCrash(time=at * makespan, worker=worker, downtime=downtime),
+        ),
+        **kwargs,
+    )
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize(
+        "sync_mode",
+        [SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY, SyncMode.SHARED_BSP],
+    )
+    def test_recovery_identity_across_sync_modes(self, sync_mode):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, sync_mode=sync_mode, checkpoint_interval=2)
+        plan = _crash_plan(t_clean.makespan())
+        _, t_fault, r_fault = _run(
+            rn, sync_mode=sync_mode, checkpoint_interval=2, faults=plan
+        )
+        assert t_fault.worker_crashes == 1
+        assert len(t_fault.recoveries) == 1
+        assert t_fault.recoveries[0].rehomed_vertices > 0
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_permanent_crash_finishes_on_survivors(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, checkpoint_interval=2)
+        plan = _crash_plan(t_clean.makespan(), downtime=None)
+        engine, t_fault, r_fault = _run(rn, checkpoint_interval=2, faults=plan)
+        assert t_fault.worker_recoveries == 0
+        assert 1 not in set(engine.assignment)  # never repopulated
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_transient_crash_rejoins(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, checkpoint_interval=2)
+        makespan = t_clean.makespan()
+        plan = _crash_plan(makespan, downtime=0.2 * makespan)
+        _, t_fault, r_fault = _run(rn, checkpoint_interval=2, faults=plan)
+        assert t_fault.worker_crashes == 1
+        assert t_fault.worker_recoveries == 1
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_recovery_rolls_back_iterations(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, checkpoint_interval=3)
+        plan = _crash_plan(t_clean.makespan(), at=0.35)
+        _, t_fault, r_fault = _run(rn, checkpoint_interval=3, faults=plan)
+        record = t_fault.recoveries[0]
+        assert record.queries_rolled_back > 0
+        assert record.detection_latency > 0.0
+        assert record.stall_duration > 0.0
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_crash_during_adaptive_partial_repartitioning(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(
+            rn, adaptive=True, repartition_mode="partial", checkpoint_interval=2
+        )
+        plan = _crash_plan(t_clean.makespan(), at=0.4)
+        _, t_fault, r_fault = _run(
+            rn,
+            adaptive=True,
+            repartition_mode="partial",
+            checkpoint_interval=2,
+            faults=plan,
+        )
+        assert t_fault.worker_crashes == 1
+        assert len(t_fault.recoveries) == 1
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_crash_racing_churn_flush(self):
+        """Topology mutations land and flush before the crash; replay after
+        rollback must see the same post-churn graph."""
+        rn = _road_network()
+        # the churn span ends well before the crash fires, so both arms
+        # replay on the same post-churn topology
+        churn = dict(churn_rate=2500.0, churn_span=0.0015)
+        clean_graph = MutableDiGraph.from_digraph(rn.graph)
+        _, t_clean, r_clean = _run(
+            rn, graph=clean_graph, checkpoint_interval=2, **churn
+        )
+        assert t_clean.churn_events, "churn process produced no events"
+        plan = _crash_plan(t_clean.makespan(), at=0.6)
+        faulty_graph = MutableDiGraph.from_digraph(rn.graph)
+        _, t_fault, r_fault = _run(
+            rn, graph=faulty_graph, checkpoint_interval=2, faults=plan, **churn
+        )
+        assert t_fault.worker_crashes == 1
+        assert t_fault.churn_events
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_two_staggered_crashes(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, checkpoint_interval=2)
+        makespan = t_clean.makespan()
+        plan = FaultPlan(
+            seed=0,
+            crashes=(
+                WorkerCrash(time=0.2 * makespan, worker=1, downtime=None),
+                WorkerCrash(time=0.5 * makespan, worker=3, downtime=None),
+            ),
+        )
+        _, t_fault, r_fault = _run(rn, checkpoint_interval=2, faults=plan)
+        assert t_fault.worker_crashes == 2
+        assert len(t_fault.recoveries) >= 1
+        _assert_identical_results(r_fault, r_clean)
+
+
+# ----------------------------------------------------------------------
+# data-plane faults: drop / duplication stay content-identical
+# ----------------------------------------------------------------------
+class TestMessageFaults:
+    def test_drop_and_duplicate_preserve_answers(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn)
+        plan = FaultPlan(seed=0, message_drop=0.15, message_duplicate=0.1)
+        _, t_fault, r_fault = _run(rn, faults=plan)
+        assert t_fault.dropped_batches > 0
+        assert t_fault.duplicated_batches > 0
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_drops_delay_the_run(self):
+        rn = _road_network()
+        _, t_clean, _ = _run(rn)
+        plan = FaultPlan(seed=0, message_drop=0.3)
+        _, t_fault, _ = _run(rn, faults=plan)
+        assert t_fault.makespan() > t_clean.makespan()
+
+
+# ----------------------------------------------------------------------
+# control-plane faults
+# ----------------------------------------------------------------------
+class TestControlPlaneFaults:
+    @pytest.mark.parametrize(
+        "scheduler", ["fifo", "locality", "shortest_scope", "phase_round_robin"]
+    )
+    def test_control_loss_retries_and_preserves_answers(self, scheduler):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, scheduler=scheduler)
+        plan = FaultPlan(seed=0, control_loss=0.2, report_loss=0.2)
+        _, t_fault, r_fault = _run(rn, scheduler=scheduler, faults=plan)
+        assert t_fault.control_retries > 0
+        assert len(t_fault.finished_queries()) == len(t_clean.finished_queries())
+        _assert_identical_results(r_fault, r_clean)
+
+    def test_controller_crash_degrades_gracefully(self):
+        rn = _road_network()
+        _, t_clean, r_clean = _run(rn, adaptive=True)
+        makespan = t_clean.makespan()
+        plan = FaultPlan(
+            seed=0,
+            controller_crashes=(
+                ControllerCrash(time=0.1 * makespan, downtime=0.5 * makespan),
+            ),
+        )
+        _, t_fault, r_fault = _run(rn, adaptive=True, faults=plan)
+        assert t_fault.controller_crashes == 1
+        _assert_identical_results(r_fault, r_clean)

@@ -61,6 +61,43 @@ class TestEventQueue:
         q.cancel(e)
         assert len(q) == 1
 
+    def test_cancel_after_pop_keeps_len_consistent(self):
+        # regression: cancelling an already-popped event used to decrement
+        # the live count a second time, corrupting __len__
+        q = EventQueue()
+        e = q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        assert q.pop() is e
+        q.cancel(e)
+        assert len(q) == 1
+        assert q.pop().kind == "y"
+        assert len(q) == 0
+
+    def test_double_cancel_idempotent(self):
+        q = EventQueue()
+        e = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+        assert q.pop().kind == "alive"
+        assert q.pop() is None
+
+    def test_cancel_then_schedule_interleaving(self):
+        q = EventQueue()
+        first = q.schedule(1.0, "first")
+        q.cancel(first)
+        q.schedule(1.0, "second")
+        third = q.schedule(2.0, "third")
+        assert len(q) == 2
+        assert q.pop().kind == "second"
+        q.cancel(third)
+        q.schedule(3.0, "fourth")
+        assert len(q) == 1
+        assert q.pop().kind == "fourth"
+        assert q.pop() is None
+        assert len(q) == 0
+
     def test_peek_time(self):
         q = EventQueue()
         assert q.peek_time() is None

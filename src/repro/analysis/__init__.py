@@ -10,10 +10,21 @@ lint, the same way race detectors gate concurrent systems.
 Layout
 ------
 :mod:`repro.analysis.visitor`
-    File loading, suppression-comment handling, the :class:`Rule` base
-    class and the rule registry.
+    File loading, suppression-comment handling, the :class:`Rule` /
+    :class:`ProjectRule` base classes and the rule registries.
 :mod:`repro.analysis.rules`
-    The built-in rule catalog (see ``docs/analysis.md``).
+    The built-in per-file rule catalog (see ``docs/analysis.md``).
+:mod:`repro.analysis.callgraph`
+    Project-wide symbol table and call graph (the substrate for every
+    whole-program rule).
+:mod:`repro.analysis.rngflow`
+    Interprocedural RNG stream-flow rules (stream crossing, unseeded
+    escape, generator-in-signature).
+:mod:`repro.analysis.effects` / :mod:`repro.analysis.races`
+    Event-handler effect summaries and the virtual-time race rules.
+:mod:`repro.analysis.baseline`
+    The checked-in ``analysis_baseline.json`` (effect summaries +
+    accepted-finding fingerprints).
 :mod:`repro.analysis.reporting`
     Text and JSON reporters.
 :mod:`repro.analysis.cli`
@@ -21,8 +32,9 @@ Layout
 
 Usage::
 
-    PYTHONPATH=src python -m repro.analysis            # lint src/ + tests/
-    PYTHONPATH=src python -m repro.analysis --format json src/repro/engine
+    PYTHONPATH=src python -m repro.analysis            # full pipeline
+    PYTHONPATH=src python -m repro.analysis --jobs 4 --format json src/repro/engine
+    PYTHONPATH=src python -m repro.analysis --select rng-stream-crossing,virtual-time-race
 
 Suppressing a finding (the reason is mandatory)::
 
@@ -31,26 +43,42 @@ Suppressing a finding (the reason is mandatory)::
 
 from repro.analysis.visitor import (
     FileContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     Violation,
+    all_project_rules,
     all_rules,
     lint_file,
     lint_paths,
+    lint_project,
     lint_source,
+    lint_sources,
+    load_project,
     register,
+    register_project,
 )
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+from repro.analysis import rngflow as _rngflow  # noqa: F401  (project rules)
+from repro.analysis import races as _races  # noqa: F401  (project rules)
 from repro.analysis.reporting import render_json, render_text
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Violation",
+    "all_project_rules",
     "all_rules",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "lint_sources",
+    "load_project",
     "register",
+    "register_project",
     "render_json",
     "render_text",
 ]

@@ -1,0 +1,130 @@
+"""Checked-in effect-summary baseline for the whole-program analyses.
+
+``analysis_baseline.json`` (repo root) pins two things:
+
+``effects``
+    The :meth:`EffectAnalysis.effect_summary` of every event handler —
+    the transitive read/write/guard sets and schedule points the race
+    rules reason over.  CI regenerates the summary and uploads the drift
+    against this file as a review artifact, so an engine change that
+    silently widens a handler's write set is visible in the PR even when
+    no rule fires.
+``accepted``
+    Finding fingerprints (location-independent, see
+    :attr:`Violation.fingerprint`) that are understood and intentionally
+    tolerated, each with a mandatory reason.  Whole-program findings whose
+    fingerprint appears here are dropped — CI therefore fails only on
+    *new* hazards, never on re-flagging an already-reviewed one after an
+    unrelated line shift.
+
+Regenerate with ``python -m repro.analysis --write-baseline`` after an
+intentional engine change; the ``accepted`` block is carried over
+verbatim (it is hand-curated, never generated).  The baseline-stability
+test asserts the checked-in file matches a fresh regeneration, so a
+stale baseline fails tier-1 rather than rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.effects import EffectAnalysis
+from repro.analysis.visitor import ProjectContext
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "load_baseline",
+    "find_baseline",
+    "render_baseline",
+    "diff_effects",
+]
+
+BASELINE_NAME = "analysis_baseline.json"
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Parsed ``analysis_baseline.json``."""
+
+    version: int = _VERSION
+    #: dispatcher class -> {event kind -> handler summary}
+    effects: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: accepted finding fingerprint -> reason
+    accepted: Dict[str, str] = field(default_factory=dict)
+
+
+def load_baseline(path: Path) -> Baseline:
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format "
+            f"(want version {_VERSION}, got {raw.get('version')!r})"
+        )
+    accepted = raw.get("accepted", {})
+    bad = [fp for fp, why in accepted.items() if not str(why).strip()]
+    if bad:
+        raise ValueError(
+            f"{path}: accepted fingerprints without a reason: {', '.join(bad)}"
+        )
+    return Baseline(
+        version=_VERSION,
+        effects=raw.get("effects", {}),
+        accepted={fp: str(why) for fp, why in accepted.items()},
+    )
+
+
+def find_baseline(start: Optional[Path] = None) -> Optional[Path]:
+    """The checked-in baseline next to the lint roots, if present."""
+    candidate = (start or Path.cwd()) / BASELINE_NAME
+    return candidate if candidate.is_file() else None
+
+
+def render_baseline(
+    project: ProjectContext, accepted: Optional[Dict[str, str]] = None
+) -> str:
+    """Serialize a fresh baseline; deterministic byte-for-byte."""
+    analysis = EffectAnalysis(project)
+    payload = {
+        "version": _VERSION,
+        "effects": analysis.effect_summary(),
+        "accepted": dict(sorted((accepted or {}).items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def diff_effects(
+    old: Dict[str, Dict[str, object]], new: Dict[str, Dict[str, object]]
+) -> List[str]:
+    """Human-readable drift between two effect summaries (for CI artifacts)."""
+    lines: List[str] = []
+    for cls in sorted(set(old) | set(new)):
+        old_kinds = old.get(cls, {})
+        new_kinds = new.get(cls, {})
+        for kind in sorted(set(old_kinds) | set(new_kinds)):
+            if kind not in old_kinds:
+                lines.append(f"+ {cls}.{kind}: new handler")
+                continue
+            if kind not in new_kinds:
+                lines.append(f"- {cls}.{kind}: handler removed")
+                continue
+            before, after = old_kinds[kind], new_kinds[kind]
+            if before == after:
+                continue
+            for section in ("reads", "writes", "guards", "schedules"):
+                b = {json.dumps(x) for x in before.get(section, [])}
+                a = {json.dumps(x) for x in after.get(section, [])}
+                for item in sorted(a - b):
+                    lines.append(f"+ {cls}.{kind}.{section}: {item}")
+                for item in sorted(b - a):
+                    lines.append(f"- {cls}.{kind}.{section}: {item}")
+            if before.get("guarded") != after.get("guarded"):
+                lines.append(
+                    f"! {cls}.{kind}.guarded: "
+                    f"{before.get('guarded')} -> {after.get('guarded')}"
+                )
+    return lines

@@ -1,8 +1,17 @@
 """Command-line front end: ``python -m repro.analysis [paths...]``.
 
-With no paths, lints ``src/`` and ``tests/`` relative to the current
-directory (the repo-root CI invocation).  Exit status is the number of
-files with findings capped at 1 — i.e. 0 when clean, 1 otherwise.
+With no paths, lints ``src/``, ``tests/``, ``benchmarks/`` and
+``examples/`` relative to the current directory (the repo-root CI
+invocation) — per-file rules on each file, then the whole-program rules
+(call graph, RNG stream flow, virtual-time races) over everything parsed
+together.  Exit status is 0 when clean, 1 on findings, 2 on usage errors.
+
+``analysis_baseline.json`` in the current directory is picked up
+automatically (override with ``--baseline``): its ``accepted``
+fingerprints filter whole-program findings, so CI fails only on *new*
+hazards.  ``--write-baseline`` regenerates the effect summaries in place
+(carrying the hand-curated ``accepted`` block); ``--effects-diff`` prints
+the drift between the checked-in baseline and HEAD for review artifacts.
 """
 
 from __future__ import annotations
@@ -12,13 +21,29 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis import races as _races  # noqa: F401  (registers project rules)
+from repro.analysis import rngflow as _rngflow  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
+from repro.analysis.baseline import (
+    BASELINE_NAME,
+    Baseline,
+    diff_effects,
+    find_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.effects import EffectAnalysis
 from repro.analysis.reporting import render_json, render_text
-from repro.analysis.visitor import all_rules, lint_paths
+from repro.analysis.visitor import (
+    all_project_rules,
+    all_rules,
+    lint_project,
+    load_project,
+)
 
 __all__ = ["main", "build_parser"]
 
-DEFAULT_PATHS = ("src", "tests")
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +68,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule names to run (default: all)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse input files on N threads (output is order-stable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            f"effect/acceptance baseline (default: ./{BASELINE_NAME} "
+            "when present; 'none' disables discovery)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline's effect summaries and exit",
+    )
+    parser.add_argument(
+        "--effects-diff",
+        action="store_true",
+        help="print effect-summary drift vs the baseline and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -50,14 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_baseline(arg: Optional[str]) -> Optional[Path]:
+    if arg == "none":
+        return None
+    if arg is not None:
+        return Path(arg)
+    return find_baseline()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for name, rule in sorted(all_rules().items()):
+        catalog = {**all_rules(), **all_project_rules()}
+        for name, rule in sorted(catalog.items()):
             roles = ",".join(rule.roles)
-            print(f"{name:<22} [{roles}] {rule.description}")
+            scope = "project" if name in all_project_rules() else "file"
+            print(f"{name:<22} [{roles}] ({scope}) {rule.description}")
         return 0
+
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -79,7 +144,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select: Optional[List[str]] = None
     if args.select:
         select = [name.strip() for name in args.select.split(",") if name.strip()]
-        unknown = set(select) - set(all_rules())
+        known = set(all_rules()) | set(all_project_rules())
+        unknown = set(select) - known
         if unknown:
             print(
                 f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
@@ -87,7 +153,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
 
-    violations = lint_paths(paths, select=select)
+    baseline_path = _resolve_baseline(args.baseline)
+    baseline = Baseline()
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"repro-lint: no such baseline: {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline or args.effects_diff:
+        # the effect summary is defined over the library sources only —
+        # benchmarks/tests neither declare handlers nor shift effect sets
+        project = load_project(paths, jobs=args.jobs)
+        if args.write_baseline:
+            target = baseline_path or Path(BASELINE_NAME)
+            target.write_text(
+                render_baseline(project, accepted=baseline.accepted),
+                encoding="utf-8",
+            )
+            print(f"repro-lint: wrote {target}")
+            return 0
+        drift = diff_effects(
+            baseline.effects, EffectAnalysis(project).effect_summary()
+        )
+        for line in drift:
+            print(line)
+        print(f"repro-lint: {len(drift)} effect-summary change(s) vs baseline")
+        return 0
+
+    violations = lint_project(
+        paths, select=select, jobs=args.jobs, accepted=baseline.accepted
+    )
     renderer = render_json if args.format == "json" else render_text
     print(renderer(violations))
     return 1 if violations else 0

@@ -18,19 +18,27 @@ from __future__ import annotations
 
 import ast
 import re
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "Violation",
     "FileContext",
+    "ProjectContext",
     "Rule",
+    "ProjectRule",
     "register",
+    "register_project",
     "all_rules",
+    "all_project_rules",
     "lint_source",
+    "lint_sources",
     "lint_file",
     "lint_paths",
+    "lint_project",
+    "load_project",
     "iter_python_files",
     "infer_role",
 ]
@@ -51,13 +59,20 @@ _REASON_RE = re.compile(r"^\s*--\s*\S")
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: a rule fired at a source location."""
+    """One finding: a rule fired at a source location.
+
+    ``fingerprint`` is a location-independent identity for whole-program
+    findings (stable across unrelated edits), used by the checked-in
+    baseline to accept known hazards without pinning line numbers.  Empty
+    for per-file findings, which are never baselined.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    fingerprint: str = ""
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -148,31 +163,107 @@ class Rule:
         )
 
 
+@dataclass
+class ProjectContext:
+    """Every file of one analysis run, parsed once, for whole-program rules."""
+
+    files: List[FileContext]
+
+    def by_path(self) -> Dict[str, FileContext]:
+        return {ctx.path: ctx for ctx in self.files}
+
+    def with_roles(self, roles: Sequence[str]) -> "ProjectContext":
+        """The sub-project visible to a rule scoped to the given roles."""
+        return ProjectContext([ctx for ctx in self.files if ctx.role in roles])
+
+
+class ProjectRule:
+    """Base class for one *whole-program* rule.
+
+    Unlike :class:`Rule`, a project rule sees every file of the run at once
+    (``check_project``) — call graphs, cross-module data flow and handler
+    interleavings live here.  The project it receives is already filtered
+    to the rule's :attr:`roles`.  Findings should carry a location-free
+    :attr:`Violation.fingerprint` so the effect baseline can accept known
+    hazards without pinning line numbers.
+    """
+
+    name: str = ""
+    description: str = ""
+    roles: Sequence[str] = ("src",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        fingerprint: str = "",
+    ) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fingerprint=fingerprint,
+        )
+
+
 _REGISTRY: Dict[str, Rule] = {}
+_PROJECT_REGISTRY: Dict[str, ProjectRule] = {}
+
+
+def _validate_rule(rule: object, other_names: Iterable[str]) -> None:
+    name = getattr(rule, "name", "")
+    if not name:
+        raise ValueError(f"rule {type(rule).__name__} has no name")
+    if name in other_names:
+        raise ValueError(f"duplicate rule name {name!r}")
+    unknown = set(rule.roles) - set(ROLES)  # type: ignore[attr-defined]
+    if unknown:
+        raise ValueError(f"rule {name!r} has unknown roles {sorted(unknown)}")
 
 
 def register(rule_cls: type) -> type:
     """Class decorator adding one :class:`Rule` subclass to the catalog."""
     rule = rule_cls()
-    if not rule.name:
-        raise ValueError(f"rule {rule_cls.__name__} has no name")
-    if rule.name in _REGISTRY:
-        raise ValueError(f"duplicate rule name {rule.name!r}")
-    unknown = set(rule.roles) - set(ROLES)
-    if unknown:
-        raise ValueError(f"rule {rule.name!r} has unknown roles {sorted(unknown)}")
+    _validate_rule(rule, set(_REGISTRY) | set(_PROJECT_REGISTRY))
     _REGISTRY[rule.name] = rule
     return rule_cls
 
 
+def register_project(rule_cls: type) -> type:
+    """Class decorator adding one :class:`ProjectRule` to the catalog."""
+    rule = rule_cls()
+    _validate_rule(rule, set(_REGISTRY) | set(_PROJECT_REGISTRY))
+    _PROJECT_REGISTRY[rule.name] = rule
+    return rule_cls
+
+
 def all_rules() -> Dict[str, Rule]:
-    """The registered rule catalog, name -> rule instance."""
+    """The registered per-file rule catalog, name -> rule instance."""
     return dict(_REGISTRY)
 
 
+def all_project_rules() -> Dict[str, ProjectRule]:
+    """The registered whole-program rule catalog, name -> rule instance."""
+    return dict(_PROJECT_REGISTRY)
+
+
 def infer_role(path: Path) -> str:
-    """Classify a file into a lint role from its repo-relative location."""
+    """Classify a file into a lint role from its repo-relative location.
+
+    Checked-in lint fixtures (``**/fixtures/**``) model *library* code —
+    they get the ``src`` role so linting one directly reproduces the
+    finding it distills — but directory walks skip them entirely (see
+    :func:`iter_python_files`), so repo-wide runs stay clean.
+    """
     parts = path.parts
+    if "fixtures" in parts:
+        return "src"
     if "tests" in parts or path.name.startswith("test_"):
         return "tests"
     if "benchmarks" in parts or "examples" in parts:
@@ -182,14 +273,10 @@ def infer_role(path: Path) -> str:
     return "src"
 
 
-def lint_source(
-    source: str,
-    path: str = "<string>",
-    role: str = "src",
-    select: Optional[Iterable[str]] = None,
+def _lint_context(
+    ctx: FileContext, select: Optional[Iterable[str]] = None
 ) -> List[Violation]:
-    """Lint one source string; returns unsuppressed violations, sorted."""
-    ctx = FileContext.parse(source, path, role)
+    """Per-file rules + suppression-format errors for one parsed file."""
     selected = set(select) if select is not None else None
     findings: List[Violation] = list(ctx.suppression_errors)
     for name, rule in sorted(_REGISTRY.items()):
@@ -200,7 +287,18 @@ def lint_source(
         for violation in rule.check(ctx):
             if not ctx.suppressed(violation):
                 findings.append(violation)
-    return sorted(findings, key=Violation.sort_key)
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    role: str = "src",
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns unsuppressed violations, sorted."""
+    ctx = FileContext.parse(source, path, role)
+    return sorted(_lint_context(ctx, select=select), key=Violation.sort_key)
 
 
 def lint_file(
@@ -218,12 +316,26 @@ def lint_file(
     )
 
 
+#: directory components skipped by directory walks: compiled caches, and
+#: checked-in lint fixtures (deliberate violations used by the tests and
+#: the historical-bug corpus — lintable only by naming them explicitly)
+_SKIPPED_DIR_PARTS = frozenset({"__pycache__", "fixtures"})
+
+
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
-    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    """Expand files/directories into a sorted stream of ``*.py`` files.
+
+    Directory walks skip ``__pycache__`` and ``fixtures`` components;
+    explicitly named files are always yielded.
+    """
     seen: Set[Path] = set()
     for base in paths:
         if base.is_dir():
-            candidates = sorted(base.rglob("*.py"))
+            candidates = [
+                p
+                for p in sorted(base.rglob("*.py"))
+                if not (_SKIPPED_DIR_PARTS & set(p.relative_to(base).parts[:-1]))
+            ]
         else:
             candidates = [base]
         for candidate in candidates:
@@ -238,8 +350,109 @@ def lint_paths(
     root: Optional[Path] = None,
     select: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
-    """Lint every ``*.py`` file under the given paths."""
+    """Lint every ``*.py`` file under the given paths (per-file rules only).
+
+    Whole-program rules need every file parsed together — use
+    :func:`lint_project` for the full pipeline.
+    """
     findings: List[Violation] = []
     for path in iter_python_files(paths):
         findings.extend(lint_file(path, root=root, select=select))
+    return sorted(findings, key=Violation.sort_key)
+
+
+def load_project(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    jobs: int = 1,
+) -> ProjectContext:
+    """Parse every ``*.py`` file under the given paths into a project.
+
+    ``jobs > 1`` reads and parses files on a thread pool (file IO releases
+    the GIL); the resulting file order is path-sorted either way, so the
+    report and the effect baseline are deterministic regardless of ``jobs``.
+    """
+    files = list(iter_python_files(paths))
+
+    def _load(path: Path) -> FileContext:
+        rel = path.relative_to(root) if root is not None else path
+        return FileContext.parse(
+            path.read_text(encoding="utf-8"), str(rel), infer_role(rel)
+        )
+
+    if jobs > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            contexts = list(pool.map(_load, files))
+    else:
+        contexts = [_load(path) for path in files]
+    contexts.sort(key=lambda ctx: ctx.path)
+    return ProjectContext(contexts)
+
+
+def _run_project_rules(
+    project: ProjectContext,
+    select: Optional[Iterable[str]] = None,
+    accepted: Optional[Mapping[str, str]] = None,
+) -> List[Violation]:
+    """Run registered project rules; filter suppressions + baseline."""
+    selected = set(select) if select is not None else None
+    by_path = project.by_path()
+    findings: List[Violation] = []
+    for name, rule in sorted(_PROJECT_REGISTRY.items()):
+        if selected is not None and name not in selected:
+            continue
+        for violation in rule.check_project(project.with_roles(rule.roles)):
+            ctx = by_path.get(violation.path)
+            if ctx is not None and ctx.suppressed(violation):
+                continue
+            if accepted and violation.fingerprint in accepted:
+                continue
+            findings.append(violation)
+    return findings
+
+
+def lint_project(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    jobs: int = 1,
+    accepted: Optional[Mapping[str, str]] = None,
+) -> List[Violation]:
+    """Full pipeline: per-file rules on each file + whole-program rules.
+
+    ``accepted`` maps baseline fingerprints to their acceptance reasons;
+    matching whole-program findings are dropped (see
+    :mod:`repro.analysis.baseline`).
+    """
+    project = load_project(paths, root=root, jobs=jobs)
+    selected = list(select) if select is not None else None
+    findings: List[Violation] = []
+    for ctx in project.files:
+        findings.extend(_lint_context(ctx, select=selected))
+    findings.extend(_run_project_rules(project, select=selected, accepted=accepted))
+    return sorted(findings, key=Violation.sort_key)
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    select: Optional[Iterable[str]] = None,
+    accepted: Optional[Mapping[str, str]] = None,
+) -> List[Violation]:
+    """Lint a path -> source mapping as one project (fixture helper).
+
+    Roles are inferred from the mapping's paths, so multi-file fixtures can
+    model cross-subsystem layouts (``src/repro/workload/gen.py`` + …)
+    without touching disk.
+    """
+    project = ProjectContext(
+        [
+            FileContext.parse(source, path, infer_role(Path(path)))
+            for path, source in sorted(sources.items())
+        ]
+    )
+    selected = list(select) if select is not None else None
+    findings: List[Violation] = []
+    for ctx in project.files:
+        findings.extend(_lint_context(ctx, select=selected))
+    findings.extend(_run_project_rules(project, select=selected, accepted=accepted))
     return sorted(findings, key=Violation.sort_key)

@@ -717,6 +717,14 @@ class QGraphEngine:
                 qr.involved.discard(worker)
                 in_flight = qr.involved - qr.acked - qr.computed
                 redirect = {w for w in qr.mailboxes if w not in in_flight}
+                # new barrier generation: redundant acks issued before the
+                # repartition (possibly still in flight) must not complete
+                # the barrier on behalf of a redirected worker that has yet
+                # to recompute; already-arrived acks stay valid.  Bumped
+                # before the redirect dispatch below so the re-issued
+                # task_ready events are scheduled against the epoch they
+                # will run under.
+                qr.barrier_epoch += 1
                 for w in sorted(redirect):
                     qr.involved.add(w)
                     qr.acked.discard(w)
@@ -727,11 +735,6 @@ class QGraphEngine:
                         query_id=query_id,
                         worker=w,
                     )
-                # new barrier generation: redundant acks issued before the
-                # repartition (possibly still in flight) must not complete
-                # the barrier on behalf of a redirected worker that has yet
-                # to recompute; already-arrived acks stay valid
-                qr.barrier_epoch += 1
                 # the bump also invalidated in-flight acks of workers that
                 # finished this iteration's compute and are not re-tasked
                 # (their mailboxes were consumed, not re-homed).  Nothing

@@ -1,0 +1,19 @@
+"""Distilled unseeded-stream escape: a library helper constructs an
+OS-entropy generator and hands it out, so every caller inherits a
+nondeterministic stream — the exact shape the seeded ``[seed, key]``
+stream-isolation convention exists to prevent.
+
+Lint this file directly to reproduce the finding::
+
+    python -m repro.analysis tests/fixtures/analysis/rng_unseeded_escape_bug.py \
+        --select rng-unseeded-escape     # exits 1
+"""
+
+import numpy as np
+
+
+def make_stream():
+    # BUG (distilled): no seed — draws differ run to run, and the
+    # generator escapes to callers so the nondeterminism spreads
+    rng = np.random.default_rng()
+    return rng

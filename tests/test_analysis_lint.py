@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis import (
     Violation,
+    all_project_rules,
     all_rules,
     lint_paths,
     lint_source,
@@ -389,6 +390,9 @@ class TestFramework:
         }
         for rule in all_rules().values():
             assert rule.description
+        # the whole-program registry is separate and must never collide
+        # with a per-file rule name (the CLI catalog is their union)
+        assert not names & set(all_project_rules())
 
     def test_violations_sorted_by_location(self):
         src = "import time\nb = time.time()\na = time.time()\n"
@@ -464,6 +468,12 @@ class TestCli:
 # ----------------------------------------------------------------------
 def test_repository_is_lint_clean():
     findings = lint_paths(
-        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+        [
+            REPO_ROOT / "src",
+            REPO_ROOT / "tests",
+            REPO_ROOT / "benchmarks",
+            REPO_ROOT / "examples",
+        ],
+        root=REPO_ROOT,
     )
     assert findings == [], render_text(findings)

@@ -1,0 +1,566 @@
+"""Whole-program analysis tests: call graph, RNG stream flow, races.
+
+Fixture convention: multi-file layouts go through
+:func:`repro.analysis.lint_sources` (in-memory, paths carry the role and
+subsystem), single-file distilled historical bugs are checked in under
+``tests/fixtures/analysis/`` and driven through the real CLI so the
+acceptance contract — naming a fixture exits 1, the repository exits 0 —
+is what the suite actually asserts.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_sources
+from repro.analysis.baseline import (
+    BASELINE_NAME,
+    diff_effects,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.callgraph import project_graph, subsystem_of
+from repro.analysis.cli import DEFAULT_PATHS, main as cli_main
+from repro.analysis.effects import EffectAnalysis
+from repro.analysis.visitor import (
+    FileContext,
+    ProjectContext,
+    all_project_rules,
+    infer_role,
+    lint_project,
+    load_project,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+
+def _project(sources):
+    return ProjectContext(
+        [
+            FileContext.parse(text, path, infer_role(Path(path)))
+            for path, text in sorted(sources.items())
+        ]
+    )
+
+
+def _rules_of(findings):
+    return sorted({v.rule for v in findings})
+
+
+# ----------------------------------------------------------------------
+# call graph: symbol resolution
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_import_alias_edge(self):
+        project = _project(
+            {
+                "src/pkga/util.py": "def helper():\n    return 1\n",
+                "src/pkga/main.py": (
+                    "from pkga.util import helper as h\n"
+                    "def run():\n"
+                    "    return h()\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert "pkga.util.helper" in graph.edges["pkga.main.run"]
+
+    def test_module_alias_edge(self):
+        project = _project(
+            {
+                "src/pkga/util.py": "def helper():\n    return 1\n",
+                "src/pkga/main.py": (
+                    "import pkga.util as u\n"
+                    "def run():\n"
+                    "    return u.helper()\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert "pkga.util.helper" in graph.edges["pkga.main.run"]
+
+    def test_self_dispatch(self):
+        project = _project(
+            {
+                "src/pkga/eng.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n"
+                    "        self.step()\n"
+                    "    def step(self):\n"
+                    "        pass\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert "pkga.eng.Engine.step" in graph.edges["pkga.eng.Engine.run"]
+
+    def test_inherited_method_resolution(self):
+        project = _project(
+            {
+                "src/pkga/base.py": (
+                    "class Base:\n"
+                    "    def shared(self):\n"
+                    "        pass\n"
+                ),
+                "src/pkga/sub.py": (
+                    "from pkga.base import Base\n"
+                    "class Derived(Base):\n"
+                    "    def run(self):\n"
+                    "        self.shared()\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert "pkga.base.Base.shared" in graph.edges["pkga.sub.Derived.run"]
+
+    def test_typed_attribute_call(self):
+        project = _project(
+            {
+                "src/pkga/parts.py": (
+                    "class Worker:\n"
+                    "    def tick(self):\n"
+                    "        pass\n"
+                ),
+                "src/pkga/eng.py": (
+                    "from pkga.parts import Worker\n"
+                    "class Engine:\n"
+                    "    def __init__(self):\n"
+                    "        self.worker = Worker()\n"
+                    "    def run(self):\n"
+                    "        self.worker.tick()\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert "pkga.parts.Worker.tick" in graph.edges["pkga.eng.Engine.run"]
+
+    def test_transitive_closure(self):
+        project = _project(
+            {
+                "src/pkga/chain.py": (
+                    "def a():\n    b()\n"
+                    "def b():\n    c()\n"
+                    "def c():\n    pass\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert graph.transitive("pkga.chain.a") >= {
+            "pkga.chain.a",
+            "pkga.chain.b",
+            "pkga.chain.c",
+        }
+
+    def test_unresolvable_call_has_no_edge(self):
+        # under-approximation: an unknown callee must not invent edges
+        project = _project(
+            {
+                "src/pkga/ext.py": (
+                    "import os\n"
+                    "def run(cb):\n"
+                    "    cb()\n"
+                    "    os.getpid()\n"
+                ),
+            }
+        )
+        _table, graph = project_graph(project)
+        assert graph.edges["pkga.ext.run"] == set()
+
+    def test_subsystem_of(self):
+        assert subsystem_of("repro.workload.generator") == "workload"
+        assert subsystem_of("repro.engine.engine") == "engine"
+        assert subsystem_of("tests.fixtures.analysis.x") == "tests"
+
+    def test_real_engine_dispatch_table_is_complete(self):
+        project = load_project([REPO_ROOT / "src"], root=REPO_ROOT)
+        analysis = EffectAnalysis(project)
+        table = analysis.handlers["repro.engine.engine.QGraphEngine"]
+        # every _on_* method of the engine is reachable from the
+        # getattr-dispatch — a missing kind here means the race detector
+        # silently stopped seeing a handler
+        assert {
+            "arrival",
+            "task_ready",
+            "compute_done",
+            "barrier_ack",
+            "ack_task_ready",
+            "graph_update",
+            "bsp_compute",
+            "bsp_next",
+            "qcut_done",
+            "global_stop",
+            "global_start",
+            "worker_crash",
+            "worker_recover",
+            "controller_crash",
+            "controller_recover",
+            "heartbeat",
+        } <= set(table)
+
+
+# ----------------------------------------------------------------------
+# RNG stream flow
+# ----------------------------------------------------------------------
+_SCHED_SINK = "def jitter(rng):\n    return rng.random()\n"
+
+
+class TestRngFlow:
+    def test_stream_crossing_flagged(self):
+        findings = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "from repro.simulation.sched import jitter\n"
+                    "def build(seed):\n"
+                    "    rng = np.random.default_rng([seed, 0x51C])\n"
+                    "    return rng.random() + jitter(rng)\n"
+                ),
+                "src/repro/simulation/sched.py": _SCHED_SINK,
+            },
+            select=["rng-stream-crossing"],
+        )
+        assert _rules_of(findings) == ["rng-stream-crossing"]
+        assert "workload" in findings[0].message
+        assert "simulation" in findings[0].message
+
+    def test_stream_within_subsystem_clean(self):
+        findings = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "from repro.workload.shape import jitter\n"
+                    "def build(seed):\n"
+                    "    rng = np.random.default_rng([seed, 0x51C])\n"
+                    "    return rng.random() + jitter(rng)\n"
+                ),
+                "src/repro/workload/shape.py": _SCHED_SINK,
+            },
+            select=["rng-stream-crossing"],
+        )
+        assert findings == []
+
+    def test_crossing_without_foreign_draw_clean(self):
+        # handing the generator across is fine as long as the other
+        # subsystem never draws from it (e.g. plumbing through a config)
+        findings = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "from repro.simulation.sched import hold\n"
+                    "def build(seed):\n"
+                    "    rng = np.random.default_rng([seed, 0x51C])\n"
+                    "    hold(rng)\n"
+                    "    return rng.random()\n"
+                ),
+                "src/repro/simulation/sched.py": (
+                    "def hold(rng):\n    return rng\n"
+                ),
+            },
+            select=["rng-stream-crossing"],
+        )
+        assert findings == []
+
+    def test_unseeded_escape_flagged_and_seeded_clean(self):
+        dirty = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "def make():\n"
+                    "    rng = np.random.default_rng()\n"
+                    "    return rng\n"
+                ),
+            },
+            select=["rng-unseeded-escape"],
+        )
+        assert _rules_of(dirty) == ["rng-unseeded-escape"]
+        clean = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "def make(seed):\n"
+                    "    rng = np.random.default_rng([seed, 0x51C])\n"
+                    "    return rng\n"
+                ),
+            },
+            select=["rng-unseeded-escape"],
+        )
+        assert clean == []
+
+    def test_unseeded_local_draw_clean(self):
+        # nondeterministic but contained: the module-rng/seed policy rules
+        # own that judgement, escape analysis only polices the boundary
+        findings = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "def make():\n"
+                    "    return float(np.random.default_rng().random())\n"
+                ),
+            },
+            select=["rng-unseeded-escape"],
+        )
+        assert findings == []
+
+    def test_generator_in_signature_flagged(self):
+        findings = lint_sources(
+            {
+                "src/repro/workload/gen.py": (
+                    "import numpy as np\n"
+                    "def sample(rng=np.random.default_rng(0)):\n"
+                    "    return rng.random()\n"
+                ),
+            },
+            select=["rng-in-library-signature"],
+        )
+        assert _rules_of(findings) == ["rng-in-library-signature"]
+
+
+# ----------------------------------------------------------------------
+# virtual-time races
+# ----------------------------------------------------------------------
+_DISPATCH = (
+    "    def step(self):\n"
+    "        event = self.queue.pop()\n"
+    '        handler = getattr(self, f"_on_{event.kind}", None)\n'
+    "        if handler is not None:\n"
+    "            handler(event.time, event.payload)\n"
+)
+
+
+def _engine_module(handler_a, handler_b):
+    return (
+        "class Mini:\n"
+        "    def __init__(self, queue):\n"
+        "        self.queue = queue\n"
+        "        self.state = {}\n"
+        "        self.paused = False\n"
+        + _DISPATCH
+        + handler_a
+        + handler_b
+    )
+
+
+class TestRaces:
+    def test_unguarded_overlap_flagged(self):
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.state[payload['k']] = payload['v']\n"
+            "        self.queue.schedule(now, 'alpha', k=1, v=2)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        self.state = {}\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["virtual-time-race"]
+        )
+        assert _rules_of(findings) == ["virtual-time-race"]
+        assert "_on_alpha" in findings[0].message
+
+    def test_one_guarded_side_clean(self):
+        # protocol ordering: the later handler fences on the pause flag
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.state[payload['k']] = payload['v']\n"
+            "        self.queue.schedule(now, 'alpha', k=1, v=2)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        if self.paused:\n"
+            "            return\n"
+            "        self.state = {}\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["virtual-time-race"]
+        )
+        assert findings == []
+
+    def test_delayed_only_kinds_clean(self):
+        # both kinds scheduled exclusively now + delay: tie-free
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.state[payload['k']] = payload['v']\n"
+            "        self.queue.schedule(now + 1, 'beta', k=1)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        self.state = {}\n"
+            "        self.queue.schedule(now + 2, 'alpha', k=1, v=2)\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["virtual-time-race"]
+        )
+        assert findings == []
+
+    def test_disjoint_write_sets_clean(self):
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.state[payload['k']] = payload['v']\n"
+            "        self.queue.schedule(now, 'alpha', k=1, v=2)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        self.other = payload['v']\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["virtual-time-race"]
+        )
+        assert findings == []
+
+    def test_suppression_on_handler_def_line(self):
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):"
+            "  # repro-lint: disable=virtual-time-race -- distilled fixture\n"
+            "        self.state[payload['k']] = payload['v']\n"
+            "        self.queue.schedule(now, 'alpha', k=1, v=2)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        self.state = {}\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["virtual-time-race"]
+        )
+        assert findings == []
+
+    def test_effect_after_schedule_flagged_then_hoisted_clean(self):
+        dirty = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.queue.schedule(now + 1, 'beta', k=1)\n"
+            "        self.state = {}\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        if self.paused:\n"
+            "            return\n"
+            "        self.state[payload['k']] = 1\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": dirty}, select=["effect-after-schedule"]
+        )
+        assert _rules_of(findings) == ["effect-after-schedule"]
+        hoisted = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        self.state = {}\n"
+            "        self.queue.schedule(now + 1, 'beta', k=1)\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        if self.paused:\n"
+            "            return\n"
+            "        self.state[payload['k']] = 1\n",
+        )
+        assert (
+            lint_sources(
+                {"src/repro/engine/mini.py": hoisted},
+                select=["effect-after-schedule"],
+            )
+            == []
+        )
+
+    def test_write_after_schedule_in_returning_branch_clean(self):
+        # control-flow awareness: the schedule's branch returns, so the
+        # lexically-later write can never follow it
+        src = _engine_module(
+            "    def _on_alpha(self, now, payload):\n"
+            "        if payload['fast']:\n"
+            "            self.queue.schedule(now + 1, 'beta', k=1)\n"
+            "            return\n"
+            "        self.state = {}\n",
+            "    def _on_beta(self, now, payload):\n"
+            "        if self.paused:\n"
+            "            return\n"
+            "        self.state[payload['k']] = 1\n",
+        )
+        findings = lint_sources(
+            {"src/repro/engine/mini.py": src}, select=["effect-after-schedule"]
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# distilled historical bugs: the acceptance contract, through the CLI
+# ----------------------------------------------------------------------
+class TestHistoricalBugFixtures:
+    @pytest.mark.parametrize(
+        "fixture, rule",
+        [
+            ("midbsp_stop_bug.py", "virtual-time-race"),
+            ("stale_barrier_ack_bug.py", "effect-after-schedule"),
+            ("rng_unseeded_escape_bug.py", "rng-unseeded-escape"),
+        ],
+    )
+    def test_fixture_exits_dirty(self, fixture, rule, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        path = FIXTURES / fixture
+        assert path.is_file()
+        code = cli_main([str(path.relative_to(REPO_ROOT)), "--select", rule])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert rule in out
+
+    def test_fixtures_are_skipped_by_directory_walks(self):
+        findings = lint_project([REPO_ROOT / "tests"], root=REPO_ROOT)
+        assert [v for v in findings if "fixtures" in v.path] == []
+
+
+# ----------------------------------------------------------------------
+# repository gates: clean at HEAD, baseline stability, hygiene
+# ----------------------------------------------------------------------
+def _repo_paths():
+    return [REPO_ROOT / p for p in DEFAULT_PATHS]
+
+
+def test_repository_is_clean_under_project_rules():
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    findings = lint_project(
+        _repo_paths(), root=REPO_ROOT, accepted=baseline.accepted
+    )
+    assert findings == [], [f"{v.path}:{v.line}: {v.rule}" for v in findings]
+
+
+def test_checked_in_baseline_is_current():
+    baseline_path = REPO_ROOT / BASELINE_NAME
+    baseline = load_baseline(baseline_path)
+    project = load_project(_repo_paths(), root=REPO_ROOT)
+    regenerated = render_baseline(project, accepted=baseline.accepted)
+    drift = diff_effects(
+        baseline.effects, json.loads(regenerated)["effects"]
+    )
+    assert regenerated == baseline_path.read_text(encoding="utf-8"), (
+        "analysis_baseline.json is stale; regenerate with "
+        "`python -m repro.analysis --write-baseline`:\n" + "\n".join(drift)
+    )
+
+
+def test_parallel_loading_is_order_stable():
+    serial = load_project(_repo_paths(), root=REPO_ROOT, jobs=1)
+    threaded = load_project(_repo_paths(), root=REPO_ROOT, jobs=4)
+    assert [c.path for c in serial.files] == [c.path for c in threaded.files]
+    assert [c.role for c in serial.files] == [c.role for c in threaded.files]
+
+
+def test_project_rule_catalog():
+    assert set(all_project_rules()) == {
+        "rng-stream-crossing",
+        "rng-unseeded-escape",
+        "rng-in-library-signature",
+        "virtual-time-race",
+        "effect-after-schedule",
+    }
+    for rule in all_project_rules().values():
+        assert rule.description
+        assert tuple(rule.roles) == ("src",)
+
+
+def test_no_bytecode_is_tracked():
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout.splitlines()
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable")
+    dirty = [
+        f for f in tracked if f.endswith(".pyc") or "__pycache__" in f
+    ]
+    assert dirty == [], dirty
+
+
+def test_cli_rejects_unknown_rule(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert cli_main(["--select", "no-such-rule"]) == 2
+    assert "unknown rule" in capsys.readouterr().err

@@ -22,6 +22,10 @@ Layout
     escape, generator-in-signature).
 :mod:`repro.analysis.effects` / :mod:`repro.analysis.races`
     Event-handler effect summaries and the virtual-time race rules.
+:mod:`repro.analysis.lifecycle`
+    State-lifecycle rules over the handler-written state inventory
+    (checkpoint completeness, restore symmetry, finish-path reset
+    coverage, atomic invariant-group mutation).
 :mod:`repro.analysis.baseline`
     The checked-in ``analysis_baseline.json`` (effect summaries +
     accepted-finding fingerprints).
@@ -61,6 +65,7 @@ from repro.analysis.visitor import (
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
 from repro.analysis import rngflow as _rngflow  # noqa: F401  (project rules)
 from repro.analysis import races as _races  # noqa: F401  (project rules)
+from repro.analysis import lifecycle as _lifecycle  # noqa: F401  (project rules)
 from repro.analysis.reporting import render_json, render_text
 
 __all__ = [

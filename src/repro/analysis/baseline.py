@@ -16,12 +16,22 @@
     fingerprint appears here are dropped — CI therefore fails only on
     *new* hazards, never on re-flagging an already-reviewed one after an
     unrelated line shift.
+``state_manifest``
+    The state-lifecycle inventory (see :mod:`repro.analysis.lifecycle`):
+    every handler-written ``Class.attr``, classified ``per-query`` /
+    ``engine-global`` / ``derived`` with a mandatory reason.
+    ``--write-baseline`` keeps the hand-written classifications for
+    attributes still in the inventory, drops rotted entries, and emits
+    new attributes as ``unclassified`` with an empty reason — the
+    lifecycle rules then treat them as per-query (the conservative
+    default) until a human classifies them.
 
 Regenerate with ``python -m repro.analysis --write-baseline`` after an
 intentional engine change; the ``accepted`` block is carried over
 verbatim (it is hand-curated, never generated).  The baseline-stability
 test asserts the checked-in file matches a fresh regeneration, so a
-stale baseline fails tier-1 rather than rotting.
+stale baseline — or a stale ``state_manifest`` — fails tier-1 rather
+than rotting.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.analysis.effects import EffectAnalysis
+from repro.analysis.lifecycle import MANIFEST_KINDS, state_inventory
 from repro.analysis.visitor import ProjectContext
 
 __all__ = [
@@ -40,7 +51,9 @@ __all__ = [
     "load_baseline",
     "find_baseline",
     "render_baseline",
+    "render_manifest",
     "diff_effects",
+    "diff_manifest",
 ]
 
 BASELINE_NAME = "analysis_baseline.json"
@@ -56,6 +69,30 @@ class Baseline:
     effects: Dict[str, Dict[str, object]] = field(default_factory=dict)
     #: accepted finding fingerprint -> reason
     accepted: Dict[str, str] = field(default_factory=dict)
+    #: ``"Cls.attr" -> {"kind": ..., "reason": ...}`` state classifications
+    state_manifest: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+
+def _validate_manifest(path: Path, manifest: object) -> Dict[str, Dict[str, str]]:
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{path}: state_manifest must be an object")
+    out: Dict[str, Dict[str, str]] = {}
+    for attr, entry in manifest.items():
+        if not isinstance(entry, dict) or entry.get("kind") not in MANIFEST_KINDS:
+            raise ValueError(
+                f"{path}: state_manifest[{attr!r}] needs a kind in "
+                f"{MANIFEST_KINDS}"
+            )
+        kind = str(entry["kind"])
+        reason = str(entry.get("reason", ""))
+        # classification without justification is just a silenced finding;
+        # only the generated "unclassified" placeholder may lack one
+        if kind != "unclassified" and not reason.strip():
+            raise ValueError(
+                f"{path}: state_manifest[{attr!r}] is {kind!r} without a reason"
+            )
+        out[str(attr)] = {"kind": kind, "reason": reason}
+    return out
 
 
 def load_baseline(path: Path) -> Baseline:
@@ -75,6 +112,7 @@ def load_baseline(path: Path) -> Baseline:
         version=_VERSION,
         effects=raw.get("effects", {}),
         accepted={fp: str(why) for fp, why in accepted.items()},
+        state_manifest=_validate_manifest(path, raw.get("state_manifest", {})),
     )
 
 
@@ -84,8 +122,35 @@ def find_baseline(start: Optional[Path] = None) -> Optional[Path]:
     return candidate if candidate.is_file() else None
 
 
+def render_manifest(
+    project: ProjectContext,
+    curated: Optional[Dict[str, Dict[str, str]]] = None,
+) -> Dict[str, Dict[str, str]]:
+    """A fresh ``state_manifest``: inventory merged with curated entries.
+
+    Hand-written classifications survive for attributes still in the
+    inventory; attributes no longer written by any handler are dropped
+    (rot), and newly written attributes appear as ``unclassified`` with
+    an empty reason for a human to fill in.
+    """
+    curated = curated or {}
+    manifest: Dict[str, Dict[str, str]] = {}
+    for attr in state_inventory(project):
+        entry = curated.get(attr)
+        if entry is not None:
+            manifest[attr] = {
+                "kind": str(entry.get("kind", "unclassified")),
+                "reason": str(entry.get("reason", "")),
+            }
+        else:
+            manifest[attr] = {"kind": "unclassified", "reason": ""}
+    return manifest
+
+
 def render_baseline(
-    project: ProjectContext, accepted: Optional[Dict[str, str]] = None
+    project: ProjectContext,
+    accepted: Optional[Dict[str, str]] = None,
+    state_manifest: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> str:
     """Serialize a fresh baseline; deterministic byte-for-byte."""
     analysis = EffectAnalysis(project)
@@ -93,6 +158,7 @@ def render_baseline(
         "version": _VERSION,
         "effects": analysis.effect_summary(),
         "accepted": dict(sorted((accepted or {}).items())),
+        "state_manifest": render_manifest(project, curated=state_manifest),
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
@@ -126,5 +192,24 @@ def diff_effects(
                 lines.append(
                     f"! {cls}.{kind}.guarded: "
                     f"{before.get('guarded')} -> {after.get('guarded')}"
+                )
+    return lines
+
+
+def diff_manifest(
+    old: Dict[str, Dict[str, str]], new: Dict[str, Dict[str, str]]
+) -> List[str]:
+    """Human-readable drift between two state manifests (for CI artifacts)."""
+    lines: List[str] = []
+    for attr in sorted(set(old) | set(new)):
+        before, after = old.get(attr), new.get(attr)
+        if before is None and after is not None:
+            lines.append(f"+ {attr}: new state ({after.get('kind')})")
+        elif after is None and before is not None:
+            lines.append(f"- {attr}: no longer handler-written")
+        elif before is not None and after is not None:
+            if before.get("kind") != after.get("kind"):
+                lines.append(
+                    f"! {attr}: {before.get('kind')} -> {after.get('kind')}"
                 )
     return lines

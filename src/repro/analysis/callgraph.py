@@ -495,11 +495,16 @@ class CallGraph:
         if isinstance(node, ast.Call):
             if (
                 isinstance(node.func, ast.Attribute)
-                and node.func.attr == "values"
+                and node.func.attr in ("values", "get")
             ):
                 base = self.expr_type(fn_qname, node.func.value, env)
                 if base is not None and base.elem is not None:
-                    return TypeRef(elem=base.elem)
+                    # dict.values() yields the elements; dict.get() yields
+                    # one element (Optional-ness is not modelled, same as
+                    # subscript access)
+                    if node.func.attr == "values":
+                        return TypeRef(elem=base.elem)
+                    return base.elem
             callees = self.resolve_call(fn_qname, node, env)
             for callee in callees:
                 returned = self.table.return_type(callee)

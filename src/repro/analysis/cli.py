@@ -8,10 +8,13 @@ together.  Exit status is 0 when clean, 1 on findings, 2 on usage errors.
 
 ``analysis_baseline.json`` in the current directory is picked up
 automatically (override with ``--baseline``): its ``accepted``
-fingerprints filter whole-program findings, so CI fails only on *new*
-hazards.  ``--write-baseline`` regenerates the effect summaries in place
-(carrying the hand-curated ``accepted`` block); ``--effects-diff`` prints
-the drift between the checked-in baseline and HEAD for review artifacts.
+fingerprints filter whole-program findings (so CI fails only on *new*
+hazards) and its ``state_manifest`` classifies the state inventory the
+lifecycle rules check.  ``--write-baseline`` regenerates the effect
+summaries and the manifest in place (carrying the hand-curated
+``accepted`` block and existing classifications); ``--effects-diff`` /
+``--manifest-diff`` print the drift between the checked-in baseline and
+HEAD for review artifacts.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis import lifecycle as _lifecycle  # noqa: F401  (project rules)
 from repro.analysis import races as _races  # noqa: F401  (registers project rules)
 from repro.analysis import rngflow as _rngflow  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
@@ -28,12 +32,14 @@ from repro.analysis.baseline import (
     BASELINE_NAME,
     Baseline,
     diff_effects,
+    diff_manifest,
     find_baseline,
     load_baseline,
     render_baseline,
+    render_manifest,
 )
 from repro.analysis.effects import EffectAnalysis
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_github, render_json, render_text
 from repro.analysis.visitor import (
     all_project_rules,
     all_rules,
@@ -58,9 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; 'github' emits ::error annotations)",
     )
     parser.add_argument(
         "--select",
@@ -92,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--effects-diff",
         action="store_true",
         help="print effect-summary drift vs the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--manifest-diff",
+        action="store_true",
+        help="print state-manifest drift vs the baseline and exit 0",
     )
     parser.add_argument(
         "--list-rules",
@@ -165,29 +176,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return 2
 
-    if args.write_baseline or args.effects_diff:
+    if args.write_baseline or args.effects_diff or args.manifest_diff:
         # the effect summary is defined over the library sources only —
         # benchmarks/tests neither declare handlers nor shift effect sets
         project = load_project(paths, jobs=args.jobs)
         if args.write_baseline:
             target = baseline_path or Path(BASELINE_NAME)
             target.write_text(
-                render_baseline(project, accepted=baseline.accepted),
+                render_baseline(
+                    project,
+                    accepted=baseline.accepted,
+                    state_manifest=baseline.state_manifest,
+                ),
                 encoding="utf-8",
             )
             print(f"repro-lint: wrote {target}")
             return 0
-        drift = diff_effects(
-            baseline.effects, EffectAnalysis(project).effect_summary()
+        if args.effects_diff:
+            drift = diff_effects(
+                baseline.effects, EffectAnalysis(project).effect_summary()
+            )
+            for line in drift:
+                print(line)
+            print(f"repro-lint: {len(drift)} effect-summary change(s) vs baseline")
+            return 0
+        drift = diff_manifest(
+            baseline.state_manifest,
+            render_manifest(project, curated=baseline.state_manifest),
         )
         for line in drift:
             print(line)
-        print(f"repro-lint: {len(drift)} effect-summary change(s) vs baseline")
+        print(f"repro-lint: {len(drift)} state-manifest change(s) vs baseline")
         return 0
 
     violations = lint_project(
-        paths, select=select, jobs=args.jobs, accepted=baseline.accepted
+        paths,
+        select=select,
+        jobs=args.jobs,
+        accepted=baseline.accepted,
+        manifest=baseline.state_manifest,
     )
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "github": render_github,
+    }.get(args.format, render_text)
     print(renderer(violations))
     return 1 if violations else 0

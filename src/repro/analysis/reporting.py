@@ -1,4 +1,4 @@
-"""Reporters for ``repro-lint`` findings (text and JSON)."""
+"""Reporters for ``repro-lint`` findings (text, JSON, GitHub Actions)."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.visitor import Violation
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_github"]
 
 
 def render_text(violations: Sequence[Violation]) -> str:
@@ -50,3 +50,35 @@ def render_json(violations: Sequence[Violation]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def _gh_escape(value: str, *, property_value: bool = False) -> str:
+    """GitHub Actions workflow-command escaping (``%``, CR, LF — and
+    property delimiters inside ``key=value`` properties)."""
+    out = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        out = out.replace(":", "%3A").replace(",", "%2C")
+    return out
+
+
+def render_github(violations: Sequence[Violation]) -> str:
+    """``::error`` workflow commands — findings surface inline on the PR.
+
+    One annotation per finding plus a trailing plain-text summary line
+    (workflow commands are swallowed by the runner, so the summary keeps
+    the raw log readable too).
+    """
+    lines = [
+        "::error file={file},line={line},col={col},title={title}::{message}".format(
+            file=_gh_escape(v.path, property_value=True),
+            line=v.line,
+            col=v.col,
+            title=_gh_escape(f"repro-lint {v.rule}", property_value=True),
+            message=_gh_escape(v.render()),
+        )
+        for v in violations
+    ]
+    lines.append(
+        f"{len(violations)} violation(s)" if violations else "repro-lint: clean"
+    )
+    return "\n".join(lines)

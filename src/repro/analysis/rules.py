@@ -28,7 +28,8 @@ relies on (see ``docs/analysis.md`` for the rationale and examples):
 ``shadow-builtin``
     Do not bind names that shadow common builtins (``id``, ``type``, …).
 ``untyped-def``
-    Strict-typing gate for ``repro/core`` and ``repro/engine``: every
+    Strict-typing gate for ``repro/core``, ``repro/engine`` and
+    ``repro/analysis``: every
     function signature fully annotated (checked by mypy in CI; this rule
     keeps the annotation *coverage* honest without needing mypy locally).
 ``swallowed-error``
@@ -254,7 +255,9 @@ _CSR_FIELDS = frozenset({"indptr", "indices", "weights"})
 class _CsrScopeVisitor(ast.NodeVisitor):
     """Walks one function (or module) scope tracking csr-view bindings."""
 
-    def __init__(self, rule: "CsrMutationRule", ctx: FileContext, names: Set[str]):
+    def __init__(
+        self, rule: "CsrMutationRule", ctx: FileContext, names: Set[str]
+    ) -> None:
         self.rule = rule
         self.ctx = ctx
         #: names bound to a CSRView (``view = g.csr()``)
@@ -647,17 +650,17 @@ class SwallowedErrorRule(Rule):
 
 
 # ----------------------------------------------------------------------
-# untyped-def (strict typing gate for core/ and engine/)
+# untyped-def (strict typing gate for core/, engine/ and analysis/)
 # ----------------------------------------------------------------------
-_TYPED_PACKAGES = ("repro/core/", "repro/engine/")
+_TYPED_PACKAGES = ("repro/core/", "repro/engine/", "repro/analysis/")
 
 
 @register
 class UntypedDefRule(Rule):
     name = "untyped-def"
     description = (
-        "strict typing gate: functions in repro/core and repro/engine "
-        "must have fully annotated signatures"
+        "strict typing gate: functions in repro/core, repro/engine and "
+        "repro/analysis must have fully annotated signatures"
     )
     roles = ("src",)
 

@@ -168,13 +168,20 @@ class ProjectContext:
     """Every file of one analysis run, parsed once, for whole-program rules."""
 
     files: List[FileContext]
+    #: checked-in state classifications (``"Cls.attr" -> {kind, reason}``)
+    #: from the baseline's ``state_manifest`` — consumed by the lifecycle
+    #: rules; empty when no baseline is in play
+    state_manifest: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     def by_path(self) -> Dict[str, FileContext]:
         return {ctx.path: ctx for ctx in self.files}
 
     def with_roles(self, roles: Sequence[str]) -> "ProjectContext":
         """The sub-project visible to a rule scoped to the given roles."""
-        return ProjectContext([ctx for ctx in self.files if ctx.role in roles])
+        return ProjectContext(
+            [ctx for ctx in self.files if ctx.role in roles],
+            state_manifest=self.state_manifest,
+        )
 
 
 class ProjectRule:
@@ -417,14 +424,18 @@ def lint_project(
     select: Optional[Iterable[str]] = None,
     jobs: int = 1,
     accepted: Optional[Mapping[str, str]] = None,
+    manifest: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> List[Violation]:
     """Full pipeline: per-file rules on each file + whole-program rules.
 
     ``accepted`` maps baseline fingerprints to their acceptance reasons;
     matching whole-program findings are dropped (see
-    :mod:`repro.analysis.baseline`).
+    :mod:`repro.analysis.baseline`).  ``manifest`` is the baseline's
+    ``state_manifest`` (state classifications for the lifecycle rules).
     """
     project = load_project(paths, root=root, jobs=jobs)
+    if manifest:
+        project.state_manifest = manifest
     selected = list(select) if select is not None else None
     findings: List[Violation] = []
     for ctx in project.files:
@@ -437,6 +448,7 @@ def lint_sources(
     sources: Mapping[str, str],
     select: Optional[Iterable[str]] = None,
     accepted: Optional[Mapping[str, str]] = None,
+    manifest: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> List[Violation]:
     """Lint a path -> source mapping as one project (fixture helper).
 
@@ -448,7 +460,8 @@ def lint_sources(
         [
             FileContext.parse(source, path, infer_role(Path(path)))
             for path, source in sorted(sources.items())
-        ]
+        ],
+        state_manifest=dict(manifest or {}),
     )
     selected = list(select) if select is not None else None
     findings: List[Violation] = []

@@ -53,7 +53,33 @@ from repro.simulation.tracing import (
     RepartitionRecord,
 )
 
-__all__ = ["EngineConfig", "QGraphEngine"]
+__all__ = ["EngineConfig", "QGraphEngine", "STATE_INVARIANT_GROUPS"]
+
+#: Attribute groups that must be mutated atomically inside any event
+#: handler: no code path may *raise* between writes to two members of one
+#: group, or an observer of the raised state (crash recovery, the
+#: sanitizer, a caller catching EngineError) sees a torn update — e.g.
+#: mailboxes still bucketed for workers the re-homed assignment no longer
+#: names, or kernel buffers sized for a graph the assignment has already
+#: outgrown.  The ``atomic-mutation`` rule in
+#: :mod:`repro.analysis.lifecycle` statically checks every handler's call
+#: closure against these declarations.
+STATE_INVARIANT_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    # message conservation: re-homing vertices and re-bucketing their
+    # in-flight mail are one transaction
+    (
+        "QGraphEngine.assignment",
+        "QueryRuntime.mailboxes",
+        "QueryRuntime.next_mailboxes",
+    ),
+    # state shape: the assignment and the dense per-vertex buffers must
+    # describe the same vertex universe
+    (
+        "QGraphEngine.assignment",
+        "QueryRuntime.kstate",
+        "QueryRuntime.scope_mask",
+    ),
+)
 
 
 @dataclass(frozen=True)
@@ -1025,7 +1051,15 @@ class QGraphEngine:
                 f"query {query_id} finished with crash-lost results "
                 "(tainted by a worker failure but never rolled back)"
             )
+        # release every engine-side per-query entry (the finish-leak
+        # contract checked by repro.analysis.lifecycle): _activated kept an
+        # empty per-query list alive forever after finish, an unbounded leak
+        # across long multi-tenant runs; _inflight is empty by construction
+        # at a resolved barrier, popped here so the invariant is enforced on
+        # the finish path itself rather than assumed
         self._checkpoints.pop(query_id, None)
+        self._activated.pop(query_id, None)
+        self._inflight.pop(query_id, None)
         qr = self.runtimes[query_id]
         qr.finalize_state()
         qr.finished = True
@@ -1676,6 +1710,17 @@ class QGraphEngine:
         dead_now = sorted(
             {w for w, _crash, _detect in handled if w in self._dead_workers}
         )
+        # validate the whole restore set BEFORE mutating anything: raising
+        # mid-rollback after the assignment was re-homed would leave
+        # mailboxes bucketed for owners the assignment no longer names —
+        # exactly the partial state the atomic-mutation contract on
+        # STATE_INVARIANT_GROUPS forbids
+        for query_id in sorted(self.running):
+            if query_id not in self._checkpoints:
+                # _start_query always captures a baseline
+                raise EngineError(
+                    f"running query {query_id} has no checkpoint at recovery"
+                )
         rehomed = 0
         duration = 0.0
         if dead_now:
@@ -1705,11 +1750,7 @@ class QGraphEngine:
         rolled_iters = 0
         for query_id in sorted(self.running):
             qr = self.runtimes[query_id]
-            ck = self._checkpoints.get(query_id)
-            if ck is None:  # _start_query always captures a baseline
-                raise EngineError(
-                    f"running query {query_id} has no checkpoint at recovery"
-                )
+            ck = self._checkpoints[query_id]
             rolled_iters += ck.restore(qr, self.assignment)
             qr.grow(self.graph.num_vertices)
             self._activated[query_id] = []

@@ -11,7 +11,7 @@ conflicts between parallel queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
 import numpy as np
 
@@ -207,35 +207,19 @@ class QueryRuntime:
         moved vertex was delivered to its pre-move owner, which is part of
         the halted set, so scanning only the halted workers' boxes is
         lossless).  ``None`` scans everything.
+
+        Both generations are assigned explicitly (no ``setattr`` loop) so
+        the writes are visible to the static effect analysis — the
+        atomic-mutation and checkpoint rules reason over exactly these
+        attribute stores.
         """
         combine = self.query.program.combine
-        for attr in ("mailboxes", "next_mailboxes"):
-            old: Dict[int, Any] = getattr(self, attr)
-            fresh: Dict[int, Any] = {}
-            scanned = []
-            for w, box in old.items():
-                if workers is not None and w not in workers:
-                    fresh[w] = box  # out of scope: stays in place
-                else:
-                    scanned.append(box)
-            for box in scanned:
-                if isinstance(box, ArrayMailbox):
-                    vertices, messages = box.concat()
-                    for owner, vchunk, mchunk in group_by_owner(
-                        assignment, vertices, messages
-                    ):
-                        dest = fresh.get(owner)
-                        if dest is None:
-                            dest = fresh[owner] = ArrayMailbox()
-                        dest.append(vchunk, mchunk)
-                else:
-                    for v, msg in box.items():
-                        dest = fresh.setdefault(int(assignment[v]), {})
-                        if v in dest:
-                            dest[v] = combine(dest[v], msg)
-                        else:
-                            dest[v] = msg
-            setattr(self, attr, fresh)
+        self.mailboxes = _rebucket_boxes(
+            self.mailboxes, assignment, workers, combine
+        )
+        self.next_mailboxes = _rebucket_boxes(
+            self.next_mailboxes, assignment, workers, combine
+        )
 
     def reset_barrier_protocol(self) -> None:
         """Invalidate all in-flight barrier traffic for this query.
@@ -321,3 +305,42 @@ class QueryRuntime:
             f"QueryRuntime(q={self.query.query_id}, it={self.iteration}, "
             f"involved={sorted(self.involved)}, finished={self.finished})"
         )
+
+
+def _rebucket_boxes(
+    old: Dict[int, Any],
+    assignment: np.ndarray,
+    workers: Optional[Set[int]],
+    combine: Callable[[Any, Any], Any],
+) -> Dict[int, Any]:
+    """One mailbox generation re-homed onto ``assignment``.
+
+    Pure with respect to the runtime: takes the old ``{worker: box}`` map,
+    returns the fresh one; :meth:`QueryRuntime.rebucket` assigns the result
+    back so the attribute store stays statically visible.
+    """
+    fresh: Dict[int, Any] = {}
+    scanned = []
+    for w, box in old.items():
+        if workers is not None and w not in workers:
+            fresh[w] = box  # out of scope: stays in place
+        else:
+            scanned.append(box)
+    for box in scanned:
+        if isinstance(box, ArrayMailbox):
+            vertices, messages = box.concat()
+            for owner, vchunk, mchunk in group_by_owner(
+                assignment, vertices, messages
+            ):
+                dest = fresh.get(owner)
+                if dest is None:
+                    dest = fresh[owner] = ArrayMailbox()
+                dest.append(vchunk, mchunk)
+        else:
+            for v, msg in box.items():
+                dict_dest = fresh.setdefault(int(assignment[v]), {})
+                if v in dict_dest:
+                    dict_dest[v] = combine(dict_dest[v], msg)
+                else:
+                    dict_dest[v] = msg
+    return fresh

@@ -1,5 +1,10 @@
 """Whole-program analysis tests: call graph, RNG stream flow, races.
 
+The state-lifecycle rules (checkpoint-gap, restore-asymmetry, finish-leak,
+atomic-mutation) have their own unit suite in
+``tests/test_analysis_lifecycle.py``; this module covers their CLI /
+baseline / catalog integration alongside the PR 8 analyses.
+
 Fixture convention: multi-file layouts go through
 :func:`repro.analysis.lint_sources` (in-memory, paths carry the role and
 subsystem), single-file distilled historical bugs are checked in under
@@ -18,8 +23,10 @@ from repro.analysis import lint_sources
 from repro.analysis.baseline import (
     BASELINE_NAME,
     diff_effects,
+    diff_manifest,
     load_baseline,
     render_baseline,
+    render_manifest,
 )
 from repro.analysis.callgraph import project_graph, subsystem_of
 from repro.analysis.cli import DEFAULT_PATHS, main as cli_main
@@ -477,6 +484,10 @@ class TestHistoricalBugFixtures:
             ("midbsp_stop_bug.py", "virtual-time-race"),
             ("stale_barrier_ack_bug.py", "effect-after-schedule"),
             ("rng_unseeded_escape_bug.py", "rng-unseeded-escape"),
+            ("checkpoint_gap_bug.py", "checkpoint-gap"),
+            ("restore_asymmetry_bug.py", "restore-asymmetry"),
+            ("finish_leak_bug.py", "finish-leak"),
+            ("atomic_mutation_bug.py", "atomic-mutation"),
         ],
     )
     def test_fixture_exits_dirty(self, fixture, rule, monkeypatch, capsys):
@@ -503,7 +514,10 @@ def _repo_paths():
 def test_repository_is_clean_under_project_rules():
     baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
     findings = lint_project(
-        _repo_paths(), root=REPO_ROOT, accepted=baseline.accepted
+        _repo_paths(),
+        root=REPO_ROOT,
+        accepted=baseline.accepted,
+        manifest=baseline.state_manifest,
     )
     assert findings == [], [f"{v.path}:{v.line}: {v.rule}" for v in findings]
 
@@ -512,13 +526,47 @@ def test_checked_in_baseline_is_current():
     baseline_path = REPO_ROOT / BASELINE_NAME
     baseline = load_baseline(baseline_path)
     project = load_project(_repo_paths(), root=REPO_ROOT)
-    regenerated = render_baseline(project, accepted=baseline.accepted)
-    drift = diff_effects(
-        baseline.effects, json.loads(regenerated)["effects"]
+    regenerated = render_baseline(
+        project,
+        accepted=baseline.accepted,
+        state_manifest=baseline.state_manifest,
+    )
+    fresh = json.loads(regenerated)
+    drift = diff_effects(baseline.effects, fresh["effects"]) + diff_manifest(
+        baseline.state_manifest, fresh["state_manifest"]
     )
     assert regenerated == baseline_path.read_text(encoding="utf-8"), (
         "analysis_baseline.json is stale; regenerate with "
         "`python -m repro.analysis --write-baseline`:\n" + "\n".join(drift)
+    )
+
+
+def test_state_manifest_is_current_and_fully_classified():
+    """A stale or unclassified ``state_manifest`` fails tier-1.
+
+    Byte-stability above already catches *rotted* entries; this gate makes
+    the two manifest-specific failure modes legible on their own: a newly
+    handler-written attribute missing from the manifest, and a generated
+    ``unclassified`` placeholder that was committed without a human
+    classification + reason.
+    """
+    baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+    project = load_project(_repo_paths(), root=REPO_ROOT)
+    fresh = render_manifest(project, curated=baseline.state_manifest)
+    drift = diff_manifest(baseline.state_manifest, fresh)
+    assert baseline.state_manifest == fresh, (
+        "state_manifest is stale; regenerate with "
+        "`python -m repro.analysis --write-baseline` and classify the new "
+        "entries:\n" + "\n".join(drift)
+    )
+    unclassified = sorted(
+        attr
+        for attr, entry in baseline.state_manifest.items()
+        if entry["kind"] == "unclassified" or not entry["reason"].strip()
+    )
+    assert unclassified == [], (
+        "state_manifest entries need a kind + reason: "
+        + ", ".join(unclassified)
     )
 
 
@@ -536,6 +584,10 @@ def test_project_rule_catalog():
         "rng-in-library-signature",
         "virtual-time-race",
         "effect-after-schedule",
+        "checkpoint-gap",
+        "restore-asymmetry",
+        "finish-leak",
+        "atomic-mutation",
     }
     for rule in all_project_rules().values():
         assert rule.description

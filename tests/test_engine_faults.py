@@ -21,6 +21,7 @@ from repro.core.controller import Controller, ControllerConfig
 from repro.engine.barriers import SyncMode
 from repro.engine.checkpoint import QueryCheckpoint
 from repro.engine.engine import EngineConfig, QGraphEngine
+from repro.engine.kernels import ArrayMailbox
 from repro.errors import EngineError, SimulationError
 from repro.graph import MutableDiGraph
 from repro.graph.road_network import generate_road_network
@@ -66,6 +67,7 @@ def _build_engine(
     repartition_mode="global",
     scheduler="fifo",
     max_events=50_000_000,
+    use_kernels=True,
 ):
     assignment = HashPartitioner(seed=0).partition(graph, k)
     controller = Controller(k, _controller_config())
@@ -81,6 +83,7 @@ def _build_engine(
             scheduler=scheduler,
             checkpoint_interval=checkpoint_interval,
             max_events=max_events,
+            use_kernels=use_kernels,
         ),
         faults=faults,
     )
@@ -446,3 +449,203 @@ class TestControlPlaneFaults:
         _, t_fault, r_fault = _run(rn, adaptive=True, faults=plan)
         assert t_fault.controller_crashes == 1
         _assert_identical_results(r_fault, r_clean)
+
+
+# ----------------------------------------------------------------------
+# finish-path state release (regression for the finish-leak findings:
+# _checkpoints/_activated/_inflight survived their query's lifecycle)
+# ----------------------------------------------------------------------
+class TestFinishReleasesPerQueryState:
+    def test_finished_queries_leave_no_per_query_engine_state(self):
+        rn = _road_network()
+        engine, trace, results = _run(rn, num_queries=8, checkpoint_interval=2)
+        # the maps were populated during the run...
+        assert trace.checkpoints_taken > 0
+        finished = set(results)
+        assert finished and not engine.running
+        # ...and the finish path released every per-query keyed entry.  A
+        # leaked entry keeps dead checkpoints resident for the rest of a
+        # long multi-tenant run, and recovery would "restore" queries
+        # that already answered.
+        assert finished.isdisjoint(engine._checkpoints)
+        assert finished.isdisjoint(engine._activated)
+        assert finished.isdisjoint(engine._inflight)
+
+    def test_recovery_after_finish_ignores_finished_queries(self):
+        """A crash after queries finished must not roll them back."""
+        rn = _road_network()
+        plan = FaultPlan(
+            seed=0, crashes=(WorkerCrash(time=0.05, worker=2, downtime=0.2),)
+        )
+        _, t_clean, r_clean = _run(rn, num_queries=8, checkpoint_interval=2)
+        engine, t_fault, r_fault = _run(
+            rn, num_queries=8, checkpoint_interval=2, faults=plan
+        )
+        assert len(t_fault.recoveries) >= 1
+        _assert_identical_results(r_fault, r_clean)
+        assert set(r_fault).isdisjoint(engine._checkpoints)
+
+
+# ----------------------------------------------------------------------
+# recovery precondition (regression for the atomic-mutation finding:
+# _do_recovery re-homed the assignment before validating the restore set)
+# ----------------------------------------------------------------------
+class TestRecoveryPrecondition:
+    def test_missing_checkpoint_raises_before_any_mutation(self):
+        rn = _road_network()
+        engine, _, results = _run(rn, num_queries=4, checkpoint_interval=2)
+        qid = min(results)
+        # resurrect a running query whose checkpoint is gone, with a dead
+        # worker pending recovery — the pre-fix engine re-homed the
+        # assignment first and only then discovered the missing checkpoint,
+        # leaving mailboxes bucketed for owners the assignment no longer
+        # named (the STATE_INVARIANT_GROUPS couple, torn)
+        engine.running.add(qid)
+        engine._checkpoints.pop(qid, None)
+        engine._dead_workers.add(1)
+        engine._recovering = [(1, 0.9, 1.0)]
+        before = engine.assignment.copy()
+        with pytest.raises(EngineError, match="no checkpoint at recovery"):
+            engine._do_recovery(1.0)
+        assert np.array_equal(engine.assignment, before)
+
+
+# ----------------------------------------------------------------------
+# capture -> restore -> capture is a fixed point
+# ----------------------------------------------------------------------
+_FIXED_POINT_KINDS = [
+    "sssp", "poi", "bfs", "khop", "reachability", "pagerank_local", "wcc_local",
+]
+
+_small_network_cache = []
+
+
+def _small_network():
+    """A smaller road network shared across the fixed-point matrix."""
+    if not _small_network_cache:
+        _small_network_cache.append(
+            generate_road_network(
+                num_cities=3,
+                num_urban_vertices=400,
+                seed=13,
+                region_size=60.0,
+                zipf_exponent=0.5,
+            )
+        )
+    return _small_network_cache[0]
+
+
+def _mailbox_pairs(boxes):
+    """Mailboxes as a sorted multiset of ``(vertex, message)`` pairs.
+
+    Worker homing is exactly what a restore onto a different assignment is
+    allowed to change; message content is not.  Each vertex lives in at
+    most one box per generation, so rebucketing merges nothing and the
+    pair multiset must survive bit-for-bit.
+    """
+    pairs = []
+    for box in boxes.values():
+        if isinstance(box, ArrayMailbox):
+            vertices, messages = box.concat()
+            pairs.extend(zip(vertices.tolist(), np.asarray(messages).tolist()))
+        else:
+            pairs.extend((int(v), m) for v, m in box.items())
+    return sorted(pairs, key=lambda p: (p[0], repr(p[1])))
+
+
+def _deep_equal(a, b):
+    if a is None or b is None:
+        return a is b
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_deep_equal(a[key], b[key]) for key in a)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(_deep_equal(x, y) for x, y in zip(a, b))
+        )
+    return bool(a == b)
+
+
+class TestCheckpointRestoreFixedPoint:
+    """capture . restore . capture == capture, on a *permuted* assignment.
+
+    The property behind recovery identity: a checkpoint restored onto a
+    different vertex assignment (the post-crash re-homing) carries exactly
+    the state it captured — nothing dropped, nothing invented, only the
+    worker bucketing changed.  Checked across all seven built-in programs,
+    both execution paths, and all three sync modes.
+    """
+
+    @pytest.mark.parametrize(
+        "sync_mode",
+        [SyncMode.HYBRID, SyncMode.GLOBAL_PER_QUERY, SyncMode.SHARED_BSP],
+    )
+    @pytest.mark.parametrize("use_kernels", [True, False], ids=["kernels", "generic"])
+    @pytest.mark.parametrize("kind", _FIXED_POINT_KINDS)
+    def test_capture_restore_capture_identity(self, kind, use_kernels, sync_mode):
+        rn = _small_network()
+        engine = _build_engine(
+            rn.graph,
+            checkpoint_interval=2,
+            sync_mode=sync_mode,
+            use_kernels=use_kernels,
+        )
+        workload = WorkloadGenerator(rn, seed=5).generate(
+            [PhaseSpec(num_queries=4, kind=kind, label="fixed-point")]
+        )
+        workload.submit_all(engine)
+        # stop the simulation mid-flight: advance one event timestamp at a
+        # time until some running query holds undelivered messages, so the
+        # captured state exercises the mailbox re-homing path
+        runtimes = {}
+        while not runtimes:
+            next_time = engine.queue.peek_time()
+            if next_time is None:
+                break
+            engine.run(until=next_time)
+            runtimes = {
+                qid: qr
+                for qid in sorted(engine.running)
+                for qr in [engine.runtimes[qid]]
+                if any(len(box) for box in qr.mailboxes.values())
+                or any(len(box) for box in qr.next_mailboxes.values())
+            }
+        assert runtimes, "no query was ever mid-flight with live mailboxes"
+        permuted = (engine.assignment + 1) % engine.cluster.num_workers
+        assert not np.array_equal(permuted, engine.assignment)
+        for qid, qr in sorted(runtimes.items()):
+            ck1 = QueryCheckpoint.capture(qr)
+            ck1.restore(qr, permuted)
+            ck2 = QueryCheckpoint.capture(qr)
+            label = f"{kind}/q{qid}"
+            assert ck2.iteration == ck1.iteration, label
+            assert _deep_equal(ck2.state, ck1.state), label
+            assert _deep_equal(
+                ck2.pending_remote_inbound, ck1.pending_remote_inbound
+            ), label
+            assert _deep_equal(ck2.agg_committed, ck1.agg_committed), label
+            assert ck2.scope == ck1.scope, label
+            assert _deep_equal(ck2.scope_mask, ck1.scope_mask), label
+            assert _deep_equal(ck2.kstate, ck1.kstate), label
+            assert _mailbox_pairs(ck2.mailboxes) == _mailbox_pairs(
+                ck1.mailboxes
+            ), label
+            assert _mailbox_pairs(ck2.next_mailboxes) == _mailbox_pairs(
+                ck1.next_mailboxes
+            ), label
+            # and the restore really re-homed: every box now lives on the
+            # worker the permuted assignment names
+            for worker, box in qr.mailboxes.items():
+                if isinstance(box, ArrayMailbox):
+                    vertices, _ = box.concat()
+                    owners = set(permuted[vertices].tolist())
+                else:
+                    owners = {int(permuted[v]) for v in box}
+                assert owners <= {worker}, label

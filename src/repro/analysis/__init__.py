@@ -26,9 +26,13 @@ Layout
     State-lifecycle rules over the handler-written state inventory
     (checkpoint completeness, restore symmetry, finish-path reset
     coverage, atomic invariant-group mutation).
+:mod:`repro.analysis.protocol`
+    Protocol-liveness rules over the extracted barrier automata
+    (barrier liveness, ack completeness, epoch-fence coverage,
+    event-kind closure).
 :mod:`repro.analysis.baseline`
     The checked-in ``analysis_baseline.json`` (effect summaries +
-    accepted-finding fingerprints).
+    accepted-finding fingerprints + state manifest + protocol automata).
 :mod:`repro.analysis.reporting`
     Text and JSON reporters.
 :mod:`repro.analysis.cli`
@@ -66,6 +70,7 @@ from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog
 from repro.analysis import rngflow as _rngflow  # noqa: F401  (project rules)
 from repro.analysis import races as _races  # noqa: F401  (project rules)
 from repro.analysis import lifecycle as _lifecycle  # noqa: F401  (project rules)
+from repro.analysis import protocol as _protocol  # noqa: F401  (project rules)
 from repro.analysis.reporting import render_json, render_text
 
 __all__ = [

@@ -1,6 +1,6 @@
 """Checked-in effect-summary baseline for the whole-program analyses.
 
-``analysis_baseline.json`` (repo root) pins two things:
+``analysis_baseline.json`` (repo root) pins four things:
 
 ``effects``
     The :meth:`EffectAnalysis.effect_summary` of every event handler —
@@ -25,6 +25,13 @@
     new attributes as ``unclassified`` with an empty reason — the
     lifecycle rules then treat them as per-query (the conservative
     default) until a human classifies them.
+``protocol``
+    The extracted protocol automata (see
+    :mod:`repro.analysis.protocol`): per dispatcher, the waiting states
+    with their manifest classification, the declared barrier-ack
+    couples, and per-handler transitions (enters/releases/guards/
+    schedules).  Fully generated — ``--protocol-diff`` reports drift
+    for review artifacts.
 
 Regenerate with ``python -m repro.analysis --write-baseline`` after an
 intentional engine change; the ``accepted`` block is carried over
@@ -41,8 +48,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.analysis.effects import EffectAnalysis
+from repro.analysis.effects import effect_analysis_for
 from repro.analysis.lifecycle import MANIFEST_KINDS, state_inventory
+from repro.analysis.protocol import protocol_summary
 from repro.analysis.visitor import ProjectContext
 
 __all__ = [
@@ -54,6 +62,7 @@ __all__ = [
     "render_manifest",
     "diff_effects",
     "diff_manifest",
+    "diff_protocol",
 ]
 
 BASELINE_NAME = "analysis_baseline.json"
@@ -71,6 +80,8 @@ class Baseline:
     accepted: Dict[str, str] = field(default_factory=dict)
     #: ``"Cls.attr" -> {"kind": ..., "reason": ...}`` state classifications
     state_manifest: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: dispatcher class -> extracted protocol automaton summary
+    protocol: Dict[str, object] = field(default_factory=dict)
 
 
 def _validate_manifest(path: Path, manifest: object) -> Dict[str, Dict[str, str]]:
@@ -108,11 +119,15 @@ def load_baseline(path: Path) -> Baseline:
         raise ValueError(
             f"{path}: accepted fingerprints without a reason: {', '.join(bad)}"
         )
+    protocol = raw.get("protocol", {})
+    if not isinstance(protocol, dict):
+        raise ValueError(f"{path}: protocol must be an object")
     return Baseline(
         version=_VERSION,
         effects=raw.get("effects", {}),
         accepted={fp: str(why) for fp, why in accepted.items()},
         state_manifest=_validate_manifest(path, raw.get("state_manifest", {})),
+        protocol=protocol,
     )
 
 
@@ -153,11 +168,18 @@ def render_baseline(
     state_manifest: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> str:
     """Serialize a fresh baseline; deterministic byte-for-byte."""
-    analysis = EffectAnalysis(project)
+    if state_manifest and not project.state_manifest:
+        # the protocol section summarizes each automaton state with its
+        # curated manifest classification — thread it through so a
+        # baseline regenerated from a fresh ``load_project`` doesn't
+        # demote every state to "unclassified"
+        project.state_manifest = dict(state_manifest)
+    analysis = effect_analysis_for(project)
     payload = {
         "version": _VERSION,
         "effects": analysis.effect_summary(),
         "accepted": dict(sorted((accepted or {}).items())),
+        "protocol": protocol_summary(project),
         "state_manifest": render_manifest(project, curated=state_manifest),
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -211,5 +233,72 @@ def diff_manifest(
             if before.get("kind") != after.get("kind"):
                 lines.append(
                     f"! {attr}: {before.get('kind')} -> {after.get('kind')}"
+                )
+    return lines
+
+
+def diff_protocol(
+    old: Dict[str, object], new: Dict[str, object]
+) -> List[str]:
+    """Human-readable drift between two protocol-automaton summaries."""
+    lines: List[str] = []
+    for cls in sorted(set(old) | set(new)):
+        raw_before, raw_after = old.get(cls), new.get(cls)
+        before: Dict[str, object] = (
+            raw_before if isinstance(raw_before, dict) else {}
+        )
+        after: Dict[str, object] = (
+            raw_after if isinstance(raw_after, dict) else {}
+        )
+        if cls not in old:
+            lines.append(f"+ {cls}: new dispatcher automaton")
+        elif cls not in new:
+            lines.append(f"- {cls}: dispatcher automaton removed")
+        b_states = before.get("states", {}) or {}
+        a_states = after.get("states", {}) or {}
+        if isinstance(b_states, dict) and isinstance(a_states, dict):
+            for attr in sorted(set(b_states) | set(a_states)):
+                if attr not in b_states:
+                    lines.append(
+                        f"+ {cls}.states: {attr} ({a_states[attr]})"
+                    )
+                elif attr not in a_states:
+                    lines.append(f"- {cls}.states: {attr}")
+                elif b_states[attr] != a_states[attr]:
+                    lines.append(
+                        f"! {cls}.states: {attr} "
+                        f"{b_states[attr]} -> {a_states[attr]}"
+                    )
+        b_couples = {json.dumps(c) for c in before.get("couples", []) or []}
+        a_couples = {json.dumps(c) for c in after.get("couples", []) or []}
+        for item in sorted(a_couples - b_couples):
+            lines.append(f"+ {cls}.couples: {item}")
+        for item in sorted(b_couples - a_couples):
+            lines.append(f"- {cls}.couples: {item}")
+        b_trans = before.get("transitions", {}) or {}
+        a_trans = after.get("transitions", {}) or {}
+        if not (isinstance(b_trans, dict) and isinstance(a_trans, dict)):
+            continue
+        for kind in sorted(set(b_trans) | set(a_trans)):
+            if kind not in b_trans:
+                lines.append(f"+ {cls}.{kind}: new transition")
+                continue
+            if kind not in a_trans:
+                lines.append(f"- {cls}.{kind}: transition removed")
+                continue
+            t_before, t_after = b_trans[kind], a_trans[kind]
+            if t_before == t_after:
+                continue
+            for section in ("enters", "releases", "guards", "schedules"):
+                b = set(t_before.get(section, []))
+                a = set(t_after.get(section, []))
+                for item in sorted(a - b):
+                    lines.append(f"+ {cls}.{kind}.{section}: {item}")
+                for item in sorted(b - a):
+                    lines.append(f"- {cls}.{kind}.{section}: {item}")
+            if t_before.get("guarded") != t_after.get("guarded"):
+                lines.append(
+                    f"! {cls}.{kind}.guarded: "
+                    f"{t_before.get('guarded')} -> {t_after.get('guarded')}"
                 )
     return lines

@@ -13,8 +13,10 @@ hazards) and its ``state_manifest`` classifies the state inventory the
 lifecycle rules check.  ``--write-baseline`` regenerates the effect
 summaries and the manifest in place (carrying the hand-curated
 ``accepted`` block and existing classifications); ``--effects-diff`` /
-``--manifest-diff`` print the drift between the checked-in baseline and
-HEAD for review artifacts.
+``--manifest-diff`` / ``--protocol-diff`` print the drift between the
+checked-in baseline and HEAD for review artifacts, and
+``--protocol-tables`` renders the extracted protocol automata as the
+markdown block embedded in ``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis import lifecycle as _lifecycle  # noqa: F401  (project rules)
+from repro.analysis import protocol as _protocol  # noqa: F401  (project rules)
 from repro.analysis import races as _races  # noqa: F401  (registers project rules)
 from repro.analysis import rngflow as _rngflow  # noqa: F401
 from repro.analysis import rules as _rules  # noqa: F401  (registers the catalog)
@@ -33,12 +36,14 @@ from repro.analysis.baseline import (
     Baseline,
     diff_effects,
     diff_manifest,
+    diff_protocol,
     find_baseline,
     load_baseline,
     render_baseline,
     render_manifest,
 )
-from repro.analysis.effects import EffectAnalysis
+from repro.analysis.effects import effect_analysis_for
+from repro.analysis.protocol import protocol_summary, render_protocol_tables
 from repro.analysis.reporting import render_github, render_json, render_text
 from repro.analysis.visitor import (
     all_project_rules,
@@ -105,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print state-manifest drift vs the baseline and exit 0",
     )
     parser.add_argument(
+        "--protocol-diff",
+        action="store_true",
+        help="print protocol-automaton drift vs the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--protocol-tables",
+        action="store_true",
+        help=(
+            "print the extracted protocol automata as markdown tables "
+            "(the docs/engine.md block) and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -158,8 +176,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         known = set(all_rules()) | set(all_project_rules())
         unknown = set(select) - known
         if unknown:
+            # a typo'd --select silently selecting nothing would read as
+            # "clean"; fail loudly and name the catalog
             print(
-                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}\n"
+                f"valid rules: {', '.join(sorted(known))}",
                 file=sys.stderr,
             )
             return 2
@@ -176,10 +197,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro-lint: {exc}", file=sys.stderr)
             return 2
 
-    if args.write_baseline or args.effects_diff or args.manifest_diff:
+    if (
+        args.write_baseline
+        or args.effects_diff
+        or args.manifest_diff
+        or args.protocol_diff
+        or args.protocol_tables
+    ):
         # the effect summary is defined over the library sources only —
-        # benchmarks/tests neither declare handlers nor shift effect sets
-        project = load_project(paths, jobs=args.jobs)
+        # benchmarks/tests neither declare handlers nor shift effect sets;
+        # the curated manifest rides along so the protocol automata carry
+        # real state classifications instead of "unclassified"
+        project = load_project(
+            paths, jobs=args.jobs, manifest=baseline.state_manifest
+        )
         if args.write_baseline:
             target = baseline_path or Path(BASELINE_NAME)
             target.write_text(
@@ -192,13 +223,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             print(f"repro-lint: wrote {target}")
             return 0
+        if args.protocol_tables:
+            print(render_protocol_tables(project), end="")
+            return 0
         if args.effects_diff:
             drift = diff_effects(
-                baseline.effects, EffectAnalysis(project).effect_summary()
+                baseline.effects,
+                effect_analysis_for(project).effect_summary(),
             )
             for line in drift:
                 print(line)
             print(f"repro-lint: {len(drift)} effect-summary change(s) vs baseline")
+            return 0
+        if args.protocol_diff:
+            drift = diff_protocol(baseline.protocol, protocol_summary(project))
+            for line in drift:
+                print(line)
+            print(
+                f"repro-lint: {len(drift)} protocol-automaton change(s) "
+                "vs baseline"
+            )
             return 0
         drift = diff_manifest(
             baseline.state_manifest,

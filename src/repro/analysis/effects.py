@@ -41,6 +41,7 @@ from repro.analysis.visitor import ProjectContext
 __all__ = [
     "HandlerEffects",
     "EffectAnalysis",
+    "effect_analysis_for",
     "GUARD_ATTR_RE",
     "BENIGN_CLASSES",
     "BENIGN_ATTRS",
@@ -440,3 +441,27 @@ class EffectAnalysis:
             }
             out[_short(cls)] = per_kind
         return out
+
+
+#: (file-context identity tuple) -> analysis; same FIFO discipline as the
+#: call-graph cache in :mod:`repro.analysis.callgraph`.  One ``lint_project``
+#: run fans the same parsed files out to every project rule (each receives a
+#: fresh role-filtered ``ProjectContext`` *sharing* the ``FileContext``
+#: objects), so keying on file identity lets the race, lifecycle and
+#: protocol rules all reuse a single dispatch/effect build instead of each
+#: reconstructing it — the dominant cost of a whole-repo lint.
+_EFFECTS_CACHE: Dict[Tuple[int, ...], "EffectAnalysis"] = {}
+_EFFECTS_CACHE_LIMIT = 8
+
+
+def effect_analysis_for(project: ProjectContext) -> EffectAnalysis:
+    """The shared per-project :class:`EffectAnalysis` (built at most once)."""
+    key = tuple(sorted(id(ctx) for ctx in project.files))
+    cached = _EFFECTS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    analysis = EffectAnalysis(project)
+    if len(_EFFECTS_CACHE) >= _EFFECTS_CACHE_LIMIT:
+        _EFFECTS_CACHE.pop(next(iter(_EFFECTS_CACHE)))
+    _EFFECTS_CACHE[key] = analysis
+    return analysis

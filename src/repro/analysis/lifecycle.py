@@ -61,7 +61,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.callgraph import CallGraph, SymbolTable, project_graph
-from repro.analysis.effects import EffectAnalysis, _stmt_lines
+from repro.analysis.effects import (
+    EffectAnalysis,
+    _stmt_lines,
+    effect_analysis_for,
+)
 from repro.analysis.visitor import (
     FileContext,
     ProjectContext,
@@ -204,7 +208,7 @@ class StateLifecycleAnalysis:
 
     def __init__(self, project: ProjectContext) -> None:
         self.project = project
-        self.effects = EffectAnalysis(project)
+        self.effects: EffectAnalysis = effect_analysis_for(project)
         self.table: SymbolTable = self.effects.table
         self.graph: CallGraph = self.effects.graph
         #: every handler-written ``ShortClass.attr`` (the inventory)

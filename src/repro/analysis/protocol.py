@@ -1,0 +1,871 @@
+"""Protocol-liveness analysis: barrier automata over the event handlers.
+
+Q-graph's coordination protocols — the STOP/START repartition barrier
+(stages A/B/C), recovery stage R, the SHARED_BSP superstep barrier and
+the heartbeat/retry control plane — are all implemented as flag/counter
+mutations spread across the engine's ``_on_*`` event handlers.  Every
+protocol bug fixed so far (stale acks in PR 1, stranded barriers in
+PR 4, mid-BSP STOP in PR 6, the PR 8 epoch-bump hoist) was a *liveness*
+or *generation-fencing* hole in exactly that mutation web.  This module
+makes the web explicit: it extracts, per dispatcher class, a **protocol
+automaton** whose
+
+states
+    are the dispatcher's phase flags, epoch counters and parked-work
+    buffers (``paused``, ``_outstanding``, ``_held_tasks``,
+    ``barrier_epoch``, … — the waiting-shaped subset of PR 9's
+    ``state_manifest`` inventory, each summarized with its manifest
+    classification), plus the members of every declared barrier-ack
+    couple (see :data:`BARRIER_PROTOCOLS_NAME`);
+transitions
+    are handler executions, annotated with the protocol states each
+    handler (transitively) *enters* (parks a task, seeds a counter, sets
+    a stop flag) or *releases* (clears, decrements, resets), the
+    fence-shaped guards dominating its effects, and the event kinds it
+    schedules — the automaton's edges to other transitions.
+
+The extracted automata are persisted in the ``protocol`` section of
+``analysis_baseline.json`` (``--write-baseline`` regenerates,
+``--protocol-diff`` reports drift) and rendered as markdown tables for
+``docs/engine.md`` via ``--protocol-tables``.  Four project rules prove
+the protocols over the automata:
+
+``barrier-liveness``
+    Every waiting state some handler enters has a release transition in
+    a handler that is actually schedulable — no terminal waiting state.
+    A parked task buffer nobody clears, a stop flag nothing resets, an
+    ack counter with no decrement path all strand the simulation at the
+    barrier (the PR 4 bug class, generalized).
+``ack-completeness``
+    Every declared ack/participant/epoch couple stays generation-
+    consistent: re-seeding the participant set resets the ack set,
+    re-seeding the ack set bumps the epoch (else in-flight acks from the
+    previous generation count toward the new barrier — the PR 1 stale-
+    ack bug), bumping the epoch adjusts the ack set, and the accepting
+    handler compares the message's epoch against the live one.
+``epoch-fence``
+    Every handler consuming a schedulable message with non-fence effects
+    guards them behind an epoch/phase comparison — a message produced
+    before a STOP/recovery boundary can be consumed after it, and an
+    unfenced handler applies stale work (the PR 8 stale-dispatch bug
+    class).
+``event-kind-closure``
+    Every kind passed to ``schedule`` resolves to a handler of some
+    dispatcher, and every ``_on_*`` handler is reachable from at least
+    one schedule site — a typo'd kind is silently dropped by the
+    dispatch ``getattr`` default, and an unscheduled handler is dead
+    protocol surface.
+
+Like everything built on the call graph this under-approximates
+reachability (an unresolvable helper contributes no effects), so a clean
+report means "no hole *found*", never "protocol proven live".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, SymbolTable
+from repro.analysis.effects import (
+    EffectAnalysis,
+    GUARD_ATTR_RE,
+    HandlerEffects,
+    effect_analysis_for,
+)
+from repro.analysis.lifecycle import MANIFEST_KINDS
+from repro.analysis.visitor import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    Violation,
+    register_project,
+)
+
+__all__ = [
+    "BARRIER_PROTOCOLS_NAME",
+    "WAITING_ATTR_RE",
+    "ProtocolTransition",
+    "ProtocolAutomaton",
+    "ProtocolAnalysis",
+    "protocol_summary",
+    "render_protocol_tables",
+    "BarrierLivenessRule",
+    "AckCompletenessRule",
+    "EpochFenceRule",
+    "EventKindClosureRule",
+]
+
+#: the module-level constant declaring barrier-ack couples; a tuple of
+#: ``("Cls.ack_set", "Cls.participant_set", "Cls.epoch")`` triples,
+#: scanned from every src module (same discovery discipline as
+#: ``STATE_INVARIANT_GROUPS``) — the declaration documents the protocol,
+#: the ``ack-completeness`` rule proves the code against it
+BARRIER_PROTOCOLS_NAME = "BARRIER_ACK_PROTOCOLS"
+
+#: attribute-name shapes that denote a *waiting* protocol state: parked/
+#: held work buffers, pending/outstanding counters, stop/pause/recovery
+#: mode flags, crash bookkeeping.  Deliberately excludes epoch/generation
+#: counters (monotonic by design — they never "release") and ack sets
+#: (owned by the declared barrier couples instead).
+WAITING_ATTR_RE = re.compile(
+    r"held|park|wait|defer|pending|outstanding|paus|stop|halt|recover"
+    r"|restor|taint|dead|down|crash|undetect|in_progress|inflight"
+    r"|in_flight|quiesc|particip"
+)
+
+#: waiting-shaped names that are pure chronometry or statistics, not
+#: protocol states (``_stop_begin_time`` records *when* the stop began,
+#: not *that* one is pending)
+_NON_WAITING_RE = re.compile(r"time|stamp|clock|count|total|history|stat")
+
+#: in-place mutators that *enter* a waiting state (park work, grow a set)
+_ENTER_MUTATORS = frozenset(
+    {"append", "appendleft", "extend", "insert", "add", "setdefault",
+     "update", "put"}
+)
+#: in-place mutators that *release* a waiting state
+_RELEASE_MUTATORS = frozenset(
+    {"pop", "popitem", "popleft", "clear", "discard", "remove"}
+)
+#: constructor names whose zero-arg call is an empty-container literal
+_EMPTY_CONSTRUCTORS = frozenset({"set", "dict", "list", "frozenset", "tuple"})
+
+
+def _short(qname: str) -> str:
+    return qname.split(".")[-1]
+
+
+def _is_reset_value(node: ast.AST) -> bool:
+    """An assignment value that empties the target (the "reset" shape)."""
+    if isinstance(node, ast.Constant) and (
+        node.value is None or node.value is False
+    ):
+        return True
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)) and not node.elts:
+        return True
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _EMPTY_CONSTRUCTORS
+        and not node.args
+        and not node.keywords
+    )
+
+
+@dataclass
+class ProtocolTransition:
+    """One automaton transition: a handler execution, summarized."""
+
+    kind: str
+    qname: str
+    #: protocol states this handler (transitively) enters / releases
+    enters: List[str] = field(default_factory=list)
+    releases: List[str] = field(default_factory=list)
+    #: fence-shaped guard attributes dominating the handler's effects
+    guards: List[str] = field(default_factory=list)
+    #: event kinds this handler (transitively) schedules — automaton edges
+    schedules: List[str] = field(default_factory=list)
+    guarded: bool = False
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-stable form for the baseline's ``protocol`` section."""
+        return {
+            "enters": list(self.enters),
+            "releases": list(self.releases),
+            "guards": list(self.guards),
+            "schedules": list(self.schedules),
+            "guarded": self.guarded,
+        }
+
+
+@dataclass
+class ProtocolAutomaton:
+    """One dispatcher's protocol state machine."""
+
+    dispatcher: str
+    #: protocol state -> manifest kind (per-query/engine-global/derived/
+    #: unclassified) — the PR 9 classification, carried into the summary
+    states: Dict[str, str] = field(default_factory=dict)
+    #: declared barrier-ack couples whose classes this dispatcher touches
+    couples: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: event kind -> transition
+    transitions: Dict[str, ProtocolTransition] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "states": dict(sorted(self.states.items())),
+            "couples": [list(c) for c in sorted(self.couples)],
+            "transitions": {
+                kind: t.summary()
+                for kind, t in sorted(self.transitions.items())
+            },
+        }
+
+
+class ProtocolAnalysis:
+    """Automaton extraction over the shared effect analysis."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.effects: EffectAnalysis = effect_analysis_for(project)
+        self.table: SymbolTable = self.effects.table
+        self.graph: CallGraph = self.effects.graph
+        #: per-function write-shape map, built lazily
+        self._shapes: Dict[str, Dict[str, Set[str]]] = {}
+        #: declared ack/participant/epoch couples, in declaration order
+        self.couples: List[Tuple[str, str, str]] = self._find_couples()
+        #: event kind -> [(producing fn qname, schedule line)] across src
+        self.kind_producers: Dict[str, List[Tuple[str, int]]] = (
+            self._find_producers()
+        )
+        #: fn qname -> event kinds whose handlers (transitively) reach it
+        self.on_handler_path: Dict[str, Set[str]] = self._handler_reachable()
+        #: dispatcher class qname -> extracted automaton
+        self.automata: Dict[str, ProtocolAutomaton] = {
+            cls: self._extract_automaton(cls)
+            for cls in sorted(self.effects.dispatch)
+        }
+
+    # ------------------------------------------------------------------
+    # manifest access
+    # ------------------------------------------------------------------
+    def kind_of(self, attr: str) -> str:
+        """Manifest kind of an attribute (missing -> unclassified)."""
+        entry = self.project.state_manifest.get(attr)
+        if isinstance(entry, dict):
+            kind = entry.get("kind")
+            if kind in MANIFEST_KINDS:
+                return str(kind)
+        return "unclassified"
+
+    # ------------------------------------------------------------------
+    # write-shape classification
+    # ------------------------------------------------------------------
+    def write_shapes(self, fn_qname: str) -> Dict[str, Set[str]]:
+        """``attr -> {"enter"|"release"|"reset"}`` for one function.
+
+        ``enter`` grows/sets protocol state (park a task, seed a counter,
+        raise a flag); ``release`` clears it (pop, decrement, lower the
+        flag); ``reset`` is the release subcase that re-seeds a container
+        to empty — the shape that starts a fresh barrier generation.
+        """
+        cached = self._shapes.get(fn_qname)
+        if cached is not None:
+            return cached
+        shapes: Dict[str, Set[str]] = {}
+        fn = self.table.functions.get(fn_qname)
+        if fn is None or fn.ctx.role != "src":
+            self._shapes[fn_qname] = shapes
+            return shapes
+
+        def mark(node: ast.AST, *tags: str) -> None:
+            attr_node: Optional[ast.Attribute] = None
+            if isinstance(node, ast.Attribute):
+                attr_node = node
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.value, ast.Attribute
+            ):
+                # a slot write grows the container, never empties it
+                attr_node = node.value
+                tags = ("enter",) if "enter" not in tags else tags
+            if attr_node is None:
+                return
+            effect = self.effects._effect_name(fn_qname, attr_node)
+            if effect is not None:
+                shapes.setdefault(effect, set()).update(tags)
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                tags = (
+                    ("release", "reset")
+                    if _is_reset_value(node.value)
+                    else ("enter",)
+                )
+                for target in node.targets:
+                    elts = (
+                        list(target.elts)
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for elt in elts:
+                        mark(elt, *tags)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                mark(
+                    node.target,
+                    *(
+                        ("release", "reset")
+                        if _is_reset_value(node.value)
+                        else ("enter",)
+                    ),
+                )
+            elif isinstance(node, ast.AugAssign):
+                mark(
+                    node.target,
+                    "release" if isinstance(node.op, ast.Sub) else "enter",
+                )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        mark(target, "release")
+                    elif isinstance(target, ast.Subscript):
+                        # ``del x.attr[k]`` releases the slot
+                        if isinstance(target.value, ast.Attribute):
+                            effect = self.effects._effect_name(
+                                fn_qname, target.value
+                            )
+                            if effect is not None:
+                                shapes.setdefault(effect, set()).add(
+                                    "release"
+                                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Attribute
+                ):
+                    if func.attr in _ENTER_MUTATORS:
+                        mark(func.value, "enter")
+                    elif func.attr in _RELEASE_MUTATORS:
+                        mark(func.value, "release")
+        self._shapes[fn_qname] = shapes
+        return shapes
+
+    def closure_shapes(self, fn_qname: str) -> Dict[str, Set[str]]:
+        """Write shapes of ``fn`` unioned over its transitive callees."""
+        merged: Dict[str, Set[str]] = {}
+        for callee in sorted(self.graph.transitive(fn_qname)):
+            for attr, tags in self.write_shapes(callee).items():
+                merged.setdefault(attr, set()).update(tags)
+        return merged
+
+    def closure_writes(self, fn_qname: str) -> Set[str]:
+        """Transitive attribute write set of ``fn``."""
+        writes: Set[str] = set()
+        for callee in self.graph.transitive(fn_qname):
+            direct = self.effects._direct.get(callee)
+            if direct is not None:
+                writes |= direct.writes
+        return writes
+
+    # ------------------------------------------------------------------
+    # couple / producer / reachability discovery
+    # ------------------------------------------------------------------
+    def _find_couples(self) -> List[Tuple[str, str, str]]:
+        couples: List[Tuple[str, str, str]] = []
+        for module in sorted(self.table.modules):
+            ctx = self.table.modules[module]
+            if ctx.role != "src":
+                continue
+            for stmt in ctx.tree.body:
+                value: Optional[ast.AST] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == BARRIER_PROTOCOLS_NAME
+                    ):
+                        value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if stmt.target.id == BARRIER_PROTOCOLS_NAME:
+                        value = stmt.value
+                if not isinstance(value, (ast.Tuple, ast.List)):
+                    continue
+                for elt in value.elts:
+                    if not isinstance(elt, (ast.Tuple, ast.List)):
+                        continue
+                    members = [
+                        str(item.value)
+                        for item in elt.elts
+                        if isinstance(item, ast.Constant)
+                        and isinstance(item.value, str)
+                    ]
+                    if len(members) == 3:
+                        couples.append((members[0], members[1], members[2]))
+        return couples
+
+    def _find_producers(self) -> Dict[str, List[Tuple[str, int]]]:
+        producers: Dict[str, List[Tuple[str, int]]] = {}
+        for fn_qname in sorted(self.effects._direct):
+            direct = self.effects._direct[fn_qname]
+            for kind, _delay, line, _followers in direct.schedules:
+                if kind is not None:
+                    producers.setdefault(kind, []).append((fn_qname, line))
+        return producers
+
+    def _handler_reachable(self) -> Dict[str, Set[str]]:
+        reached: Dict[str, Set[str]] = {}
+        for handlers in self.effects.handlers.values():
+            for kind, he in handlers.items():
+                for callee in self.graph.transitive(he.qname):
+                    reached.setdefault(callee, set()).add(kind)
+        return reached
+
+    # ------------------------------------------------------------------
+    # automaton extraction
+    # ------------------------------------------------------------------
+    def _protocol_classes(self, cls_qname: str) -> Set[str]:
+        """Short class names whose attrs may be this dispatcher's states.
+
+        The dispatcher itself, plus the owner class of every declared
+        barrier couple the dispatcher's handlers actually write — the
+        per-query runtime objects the barrier protocol manipulates.
+        """
+        classes = {_short(cls_qname)}
+        written: Set[str] = set()
+        for he in self.effects.handlers.get(cls_qname, {}).values():
+            written |= he.writes
+        for ack, _participants, _epoch in self.couples:
+            if any(attr in written for attr in (ack, _participants, _epoch)):
+                classes.add(ack.split(".")[0])
+        return classes
+
+    def _extract_automaton(self, cls_qname: str) -> ProtocolAutomaton:
+        handlers = self.effects.handlers[cls_qname]
+        classes = self._protocol_classes(cls_qname)
+        written: Set[str] = set()
+        for he in handlers.values():
+            written |= he.hazardous_writes()
+        states: Dict[str, str] = {}
+        for attr in written:
+            owner, _, name = attr.partition(".")
+            if owner not in classes:
+                continue
+            if WAITING_ATTR_RE.search(name) and not _NON_WAITING_RE.search(
+                name
+            ):
+                states[attr] = self.kind_of(attr)
+        couples = [
+            c
+            for c in self.couples
+            if c[0].split(".")[0] in classes or any(m in written for m in c)
+        ]
+        for couple in couples:
+            for member in couple:
+                states.setdefault(member, self.kind_of(member))
+        auto = ProtocolAutomaton(
+            dispatcher=_short(cls_qname), states=states, couples=couples
+        )
+        for kind in sorted(handlers):
+            he = handlers[kind]
+            shapes = self.closure_shapes(he.qname)
+            enters = sorted(
+                a for a, tags in shapes.items() if a in states and "enter" in tags
+            )
+            releases = sorted(
+                a
+                for a, tags in shapes.items()
+                if a in states and "release" in tags
+            )
+            guards = sorted(
+                g
+                for g in he.guards
+                if GUARD_ATTR_RE.search(g.split(".")[-1])
+            )
+            schedules = sorted(
+                {k for k, _delay, _line, _f in he.schedules if k is not None}
+            )
+            auto.transitions[kind] = ProtocolTransition(
+                kind=kind,
+                qname=he.qname,
+                enters=enters,
+                releases=releases,
+                guards=guards,
+                schedules=schedules,
+                guarded=he.is_guarded(),
+            )
+        return auto
+
+    # ------------------------------------------------------------------
+    # baseline / docs rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Deterministic whole-project summary for the checked-in baseline."""
+        return {
+            _short(cls): auto.summary()
+            for cls, auto in sorted(self.automata.items())
+        }
+
+    def render_tables(self) -> str:
+        """Markdown automaton tables for ``docs/engine.md``."""
+        lines: List[str] = []
+        for cls in sorted(self.automata):
+            auto = self.automata[cls]
+            lines.append(f"#### `{auto.dispatcher}` protocol automaton")
+            lines.append("")
+            if auto.states:
+                lines.append(
+                    "States (waiting flags/buffers and barrier-couple "
+                    "members, with their `state_manifest` classification):"
+                )
+                lines.append("")
+                for attr in sorted(auto.states):
+                    lines.append(f"- `{attr}` — {auto.states[attr]}")
+                lines.append("")
+            for couple in auto.couples:
+                ack, participants, epoch = couple
+                lines.append(
+                    f"Barrier-ack couple: acks `{ack}` counted against "
+                    f"`{participants}`, fenced by `{epoch}`."
+                )
+                lines.append("")
+            lines.append(
+                "| event | guards | enters | releases | schedules |"
+            )
+            lines.append("| --- | --- | --- | --- | --- |")
+            for kind in sorted(auto.transitions):
+                t = auto.transitions[kind]
+
+                def cell(items: List[str]) -> str:
+                    return (
+                        "<br>".join(f"`{i}`" for i in items) if items else "—"
+                    )
+
+                lines.append(
+                    f"| `{kind}` | {cell(t.guards)} | {cell(t.enters)} "
+                    f"| {cell(t.releases)} | {cell(t.schedules)} |"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+#: (file-context identity tuple) -> analysis; same FIFO discipline as the
+#: effect-analysis cache — the four protocol rules of one run share one
+#: extraction (and, through ``effect_analysis_for``, one effect build
+#: with the race and lifecycle rules)
+_ANALYSIS_CACHE: Dict[Tuple[int, ...], ProtocolAnalysis] = {}
+_ANALYSIS_CACHE_LIMIT = 8
+
+
+def _analysis_for(project: ProjectContext) -> ProtocolAnalysis:
+    key = tuple(sorted(id(ctx) for ctx in project.files))
+    cached = _ANALYSIS_CACHE.get(key)
+    if cached is not None and cached.project.state_manifest == project.state_manifest:
+        return cached
+    analysis = ProtocolAnalysis(project)
+    if len(_ANALYSIS_CACHE) >= _ANALYSIS_CACHE_LIMIT:
+        _ANALYSIS_CACHE.pop(next(iter(_ANALYSIS_CACHE)))
+    _ANALYSIS_CACHE[key] = analysis
+    return analysis
+
+
+def protocol_summary(project: ProjectContext) -> Dict[str, object]:
+    """The extracted automata, JSON-stable (for ``--write-baseline``)."""
+    return _analysis_for(project).summary()
+
+
+def render_protocol_tables(project: ProjectContext) -> str:
+    """Markdown automaton tables (for ``--protocol-tables`` and docs)."""
+    return _analysis_for(project).render_tables()
+
+
+def _fn_anchor(
+    analysis: ProtocolAnalysis, qname: str
+) -> Tuple[FileContext, ast.AST]:
+    fn = analysis.table.functions[qname]
+    return fn.ctx, fn.node
+
+
+@register_project
+class BarrierLivenessRule(ProjectRule):
+    name = "barrier-liveness"
+    description = (
+        "a handler enters a waiting state (parks work, seeds a counter, "
+        "sets a stop flag) that no schedulable handler ever releases"
+    )
+    roles = ("src",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        analysis = _analysis_for(project)
+        scheduled = set(analysis.kind_producers)
+        for cls in sorted(analysis.automata):
+            auto = analysis.automata[cls]
+            # generation counters are monotonic by design — bumping one is
+            # not a wait, so they have no release transition to demand
+            epochs = {couple[2] for couple in auto.couples}
+            for attr in sorted(auto.states):
+                if attr in epochs:
+                    continue
+                enter_kinds = sorted(
+                    k
+                    for k, t in auto.transitions.items()
+                    if attr in t.enters
+                )
+                if not enter_kinds:
+                    continue
+                release_kinds = sorted(
+                    k
+                    for k, t in auto.transitions.items()
+                    if attr in t.releases
+                )
+                live = [k for k in release_kinds if k in scheduled]
+                if live:
+                    continue
+                if release_kinds:
+                    detail = (
+                        "its only release transitions "
+                        f"({', '.join('_on_' + k for k in release_kinds)}) "
+                        "are handlers no schedule site ever produces"
+                    )
+                else:
+                    detail = "no handler ever releases it"
+                anchor = auto.transitions[enter_kinds[0]]
+                ctx, node = _fn_anchor(analysis, anchor.qname)
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"waiting state {attr} is entered by handler(s) "
+                    f"{', '.join('_on_' + k for k in enter_kinds)} but "
+                    f"{detail} — a terminal waiting state strands the "
+                    "protocol at the barrier; add a release path or drop "
+                    "the parked state",
+                    fingerprint=(
+                        f"barrier-liveness::{auto.dispatcher}::{attr}"
+                    ),
+                )
+
+
+@register_project
+class AckCompletenessRule(ProjectRule):
+    name = "ack-completeness"
+    description = (
+        "a declared barrier-ack couple re-seeded or epoch-bumped "
+        "inconsistently — acks from one generation count toward another"
+    )
+    roles = ("src",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        analysis = _analysis_for(project)
+        for couple in analysis.couples:
+            ack, participants, epoch = couple
+            yield from self._check_couple(analysis, ack, participants, epoch)
+
+    def _check_couple(
+        self,
+        analysis: ProtocolAnalysis,
+        ack: str,
+        participants: str,
+        epoch: str,
+    ) -> Iterator[Violation]:
+        for fn_qname in sorted(analysis.on_handler_path):
+            fn = analysis.table.functions.get(fn_qname)
+            if fn is None or fn.ctx.role != "src":
+                continue
+            shapes = analysis.write_shapes(fn_qname)
+            direct = analysis.effects._direct.get(fn_qname)
+            direct_writes = direct.writes if direct is not None else set()
+            closure: Optional[Set[str]] = None
+
+            def closure_writes() -> Set[str]:
+                nonlocal closure
+                if closure is None:
+                    closure = analysis.closure_writes(fn_qname)
+                return closure
+
+            ctx, node = _fn_anchor(analysis, fn_qname)
+            if participants in direct_writes and ack not in closure_writes():
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{fn.name} re-seeds the participant set {participants} "
+                    f"without resetting the ack set {ack} — acks counted "
+                    "for the previous membership complete a barrier the new "
+                    "membership never joined",
+                    fingerprint=f"ack-completeness::seed::{fn_qname}::{participants}",
+                )
+            if "reset" in shapes.get(ack, set()) and epoch not in closure_writes():
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{fn.name} re-seeds the ack set {ack} without bumping "
+                    f"{epoch} — in-flight acks stamped with the previous "
+                    "generation still pass the epoch fence and count toward "
+                    "the new barrier (the stale-ack bug class)",
+                    fingerprint=f"ack-completeness::reseed::{fn_qname}::{ack}",
+                )
+            if epoch in direct_writes and ack not in closure_writes():
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{fn.name} bumps {epoch} without adjusting the ack set "
+                    f"{ack} — acks already counted under the old generation "
+                    "survive into the new one",
+                    fingerprint=f"ack-completeness::bump::{fn_qname}::{epoch}",
+                )
+        yield from self._check_accepts(analysis, ack, epoch)
+
+    def _check_accepts(
+        self, analysis: ProtocolAnalysis, ack: str, epoch: str
+    ) -> Iterator[Violation]:
+        """Epoch-stamped accept sites must guard on the live epoch."""
+        epoch_attr = epoch.split(".")[-1]
+        for cls in sorted(analysis.effects.handlers):
+            handlers = analysis.effects.handlers[cls]
+            for kind in sorted(handlers):
+                he = handlers[kind]
+                if not self._accepts_with_epoch_param(
+                    analysis, he, ack, epoch_attr
+                ):
+                    continue
+                if epoch in he.guards:
+                    continue
+                ctx, node = _fn_anchor(analysis, he.qname)
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"_on_{kind} counts acks into {ack} and carries an "
+                    f"epoch-shaped payload parameter, but never compares it "
+                    f"against {epoch} — a stale ack from a previous barrier "
+                    "generation is accepted as current",
+                    fingerprint=(
+                        f"ack-completeness::accept::{_short(cls)}::{kind}"
+                    ),
+                )
+
+    @staticmethod
+    def _accepts_with_epoch_param(
+        analysis: ProtocolAnalysis,
+        he: HandlerEffects,
+        ack: str,
+        epoch_attr: str,
+    ) -> bool:
+        """The handler closure adds to ``ack`` inside a function whose
+        signature carries an epoch-shaped parameter (the message payload)."""
+        for callee in analysis.graph.transitive(he.qname):
+            fn = analysis.table.functions.get(callee)
+            if fn is None:
+                continue
+            shapes = analysis.write_shapes(callee)
+            if "enter" not in shapes.get(ack, set()):
+                continue
+            args = fn.node.args
+            named = (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+            for arg in named:
+                if arg.arg == epoch_attr or epoch_attr.endswith(
+                    "_" + arg.arg
+                ):
+                    return True
+        return False
+
+
+@register_project
+class EpochFenceRule(ProjectRule):
+    name = "epoch-fence"
+    description = (
+        "a handler consuming a schedulable message applies non-fence "
+        "effects without any epoch/phase guard — stale work after a "
+        "STOP/recovery boundary"
+    )
+    roles = ("src",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        analysis = _analysis_for(project)
+        for cls in sorted(analysis.automata):
+            auto = analysis.automata[cls]
+            # a dispatcher with no boundary flags has no boundary for a
+            # message to straddle — nothing to fence against
+            boundary = any(
+                GUARD_ATTR_RE.search(attr.split(".")[-1])
+                for t in auto.transitions.values()
+                for attr in (*t.enters, *t.releases)
+            )
+            if not boundary:
+                continue
+            handlers = analysis.effects.handlers[
+                next(
+                    c
+                    for c in analysis.effects.handlers
+                    if _short(c) == auto.dispatcher
+                )
+            ]
+            for kind in sorted(handlers):
+                he = handlers[kind]
+                if kind not in analysis.kind_producers:
+                    continue  # event-kind-closure owns unreachable handlers
+                exposed = sorted(
+                    attr
+                    for attr in he.hazardous_writes()
+                    if not GUARD_ATTR_RE.search(attr.split(".")[-1])
+                )
+                if not exposed:
+                    continue
+                if he.is_guarded():
+                    continue
+                ctx, node = _fn_anchor(analysis, he.qname)
+                shown = ", ".join(exposed[:4]) + (
+                    "…" if len(exposed) > 4 else ""
+                )
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"_on_{kind} consumes a schedulable message and writes "
+                    f"{shown} with no epoch/phase guard anywhere on its "
+                    "path — a message produced before a STOP/recovery "
+                    "boundary is applied unfenced after it (the "
+                    "stale-dispatch bug class); compare the payload's "
+                    "epoch or check a phase flag before the effects",
+                    fingerprint=(
+                        f"epoch-fence::{auto.dispatcher}::{kind}"
+                    ),
+                )
+
+
+@register_project
+class EventKindClosureRule(ProjectRule):
+    name = "event-kind-closure"
+    description = (
+        "a scheduled event kind with no handler (silently dropped) or a "
+        "handler no schedule site ever produces (dead protocol surface)"
+    )
+    roles = ("src",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        analysis = _analysis_for(project)
+        if not analysis.effects.dispatch:
+            return
+        handled: Set[str] = set()
+        for kinds in analysis.effects.dispatch.values():
+            handled |= set(kinds)
+        for kind in sorted(analysis.kind_producers):
+            if kind in handled:
+                continue
+            producer, line = min(
+                analysis.kind_producers[kind], key=lambda p: (p[0], p[1])
+            )
+            ctx, _node = _fn_anchor(analysis, producer)
+            yield Violation(
+                rule=self.name,
+                path=ctx.path,
+                line=line,
+                col=0,
+                message=(
+                    f"{producer} schedules event kind '{kind}' but no "
+                    "dispatcher defines _on_" + kind + " — the dispatch "
+                    "getattr silently drops it (typo'd or dead kind)"
+                ),
+                fingerprint=f"event-kind-closure::kind::{kind}",
+            )
+        for cls in sorted(analysis.effects.dispatch):
+            for kind in sorted(analysis.effects.dispatch[cls]):
+                if kind in analysis.kind_producers:
+                    continue
+                he = analysis.effects.handlers[cls][kind]
+                ctx, node = _fn_anchor(analysis, he.qname)
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"handler _on_{kind} of {_short(cls)} is reachable from "
+                    "no schedule site — dead protocol surface (or its "
+                    "producer passes a non-literal kind the analysis "
+                    "cannot see; schedule with a literal kind)",
+                    fingerprint=(
+                        f"event-kind-closure::handler::{_short(cls)}::{kind}"
+                    ),
+                )

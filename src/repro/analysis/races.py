@@ -35,7 +35,12 @@ import ast
 from itertools import combinations
 from typing import Dict, Iterator, Tuple
 
-from repro.analysis.effects import BENIGN_CLASSES, EffectAnalysis, HandlerEffects
+from repro.analysis.effects import (
+    BENIGN_CLASSES,
+    EffectAnalysis,
+    HandlerEffects,
+    effect_analysis_for,
+)
 from repro.analysis.visitor import (
     FileContext,
     ProjectContext,
@@ -62,7 +67,7 @@ class VirtualTimeRaceRule(ProjectRule):
     roles = ("src",)
 
     def check_project(self, project: ProjectContext) -> Iterator[Violation]:
-        analysis = EffectAnalysis(project)
+        analysis = effect_analysis_for(project)
         for cls in sorted(analysis.handlers):
             handlers = analysis.handlers[cls]
             for kind_a, kind_b in combinations(sorted(handlers), 2):
@@ -101,7 +106,7 @@ class EffectAfterScheduleRule(ProjectRule):
     roles = ("src",)
 
     def check_project(self, project: ProjectContext) -> Iterator[Violation]:
-        analysis = EffectAnalysis(project)
+        analysis = effect_analysis_for(project)
         for cls in sorted(analysis.handlers):
             handlers = analysis.handlers[cls]
             by_kind: Dict[str, HandlerEffects] = handlers

@@ -372,12 +372,15 @@ def load_project(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     jobs: int = 1,
+    manifest: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> ProjectContext:
     """Parse every ``*.py`` file under the given paths into a project.
 
     ``jobs > 1`` reads and parses files on a thread pool (file IO releases
     the GIL); the resulting file order is path-sorted either way, so the
     report and the effect baseline are deterministic regardless of ``jobs``.
+    ``manifest`` is the baseline's ``state_manifest``, consumed by the
+    lifecycle and protocol analyses.
     """
     files = list(iter_python_files(paths))
 
@@ -393,7 +396,7 @@ def load_project(
     else:
         contexts = [_load(path) for path in files]
     contexts.sort(key=lambda ctx: ctx.path)
-    return ProjectContext(contexts)
+    return ProjectContext(contexts, state_manifest=dict(manifest or {}))
 
 
 def _run_project_rules(

@@ -53,7 +53,12 @@ from repro.simulation.tracing import (
     RepartitionRecord,
 )
 
-__all__ = ["EngineConfig", "QGraphEngine", "STATE_INVARIANT_GROUPS"]
+__all__ = [
+    "EngineConfig",
+    "QGraphEngine",
+    "STATE_INVARIANT_GROUPS",
+    "BARRIER_ACK_PROTOCOLS",
+]
 
 #: Attribute groups that must be mutated atomically inside any event
 #: handler: no code path may *raise* between writes to two members of one
@@ -78,6 +83,23 @@ STATE_INVARIANT_GROUPS: Tuple[Tuple[str, ...], ...] = (
         "QGraphEngine.assignment",
         "QueryRuntime.kstate",
         "QueryRuntime.scope_mask",
+    ),
+)
+
+#: The barrier-ack couples of the coordination protocol: each triple is
+#: ``(ack set, participant set, epoch counter)``.  Acks accumulated in the
+#: first member are counted against the membership in the second, and the
+#: third numbers the barrier *generation* — any code that re-seeds either
+#: set must keep all three consistent (reset the acks when membership
+#: changes, bump the epoch when the acks restart) or an in-flight ack from
+#: one generation completes a barrier it never joined.  The
+#: ``ack-completeness`` rule in :mod:`repro.analysis.protocol` statically
+#: checks every handler-path function against this declaration.
+BARRIER_ACK_PROTOCOLS: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "QueryRuntime.acked",
+        "QueryRuntime.involved",
+        "QueryRuntime.barrier_epoch",
     ),
 )
 
@@ -1190,6 +1212,11 @@ class QGraphEngine:
             qr.computed = set()
             qr.prior_participants = set()
             qr.involved = involved
+            # every barrier generation is uniquely numbered, superstep
+            # seeds included: recovery's stale-ack fencing (and the
+            # ack-completeness proof) rely on a re-seeded ack set never
+            # sharing an epoch with the generation it replaced
+            qr.barrier_epoch += 1
             if qr.involved:
                 self._bsp_participants.add(query_id)
             for w in sorted(qr.involved):

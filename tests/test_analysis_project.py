@@ -488,6 +488,10 @@ class TestHistoricalBugFixtures:
             ("restore_asymmetry_bug.py", "restore-asymmetry"),
             ("finish_leak_bug.py", "finish-leak"),
             ("atomic_mutation_bug.py", "atomic-mutation"),
+            ("barrier_liveness_bug.py", "barrier-liveness"),
+            ("ack_completeness_bug.py", "ack-completeness"),
+            ("epoch_fence_bug.py", "epoch-fence"),
+            ("event_kind_closure_bug.py", "event-kind-closure"),
         ],
     )
     def test_fixture_exits_dirty(self, fixture, rule, monkeypatch, capsys):
@@ -588,6 +592,10 @@ def test_project_rule_catalog():
         "restore-asymmetry",
         "finish-leak",
         "atomic-mutation",
+        "barrier-liveness",
+        "ack-completeness",
+        "epoch-fence",
+        "event-kind-closure",
     }
     for rule in all_project_rules().values():
         assert rule.description
@@ -615,4 +623,18 @@ def test_no_bytecode_is_tracked():
 def test_cli_rejects_unknown_rule(monkeypatch, capsys):
     monkeypatch.chdir(REPO_ROOT)
     assert cli_main(["--select", "no-such-rule"]) == 2
-    assert "unknown rule" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule(s): no-such-rule" in err
+    # a typo'd --select must not read as "clean"; the error names the
+    # catalog so the caller can self-correct
+    assert "valid rules:" in err
+    for name in ("barrier-liveness", "module-rng", "virtual-time-race"):
+        assert name in err
+
+
+def test_cli_rejects_mixed_known_and_unknown_rules(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert cli_main(["--select", "barrier-liveness,epoch-fnce"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule(s): epoch-fnce" in err
+    assert "barrier-liveness" not in err.split("valid rules:")[0]

@@ -145,3 +145,37 @@ class TestSharedBspBarrier:
         trace = eng.run()
         assert len(trace.finished_queries()) == 2
         assert eng.query_result(1)["distance"] == pytest.approx(8.0)
+
+    def test_each_superstep_seed_gets_a_fresh_epoch(self):
+        """Every BSP re-seed of a query's ack set bumps its barrier epoch.
+
+        Recovery's stale-ack fencing (and the ack-completeness protocol
+        proof) rely on a re-seeded ack set never sharing an epoch with
+        the generation it replaced: an ack stamped under superstep N must
+        not count toward superstep N+1's completeness.
+        """
+        g = grid_graph(5, 5)
+        eng = engine_for(g, 2, SyncMode.SHARED_BSP)
+        eng.submit(Query(0, SsspProgram(0, 24), (0,)))
+        eng.submit(Query(1, SsspProgram(24, 0), (24,)))
+
+        seeds = []  # (query_id, epoch) recorded at each superstep seed
+        original = eng._bsp_begin_superstep
+
+        def recording(now):
+            before = {qid: qr.barrier_epoch for qid, qr in eng.runtimes.items()}
+            original(now)
+            for qid in sorted(eng.runtimes):
+                qr = eng.runtimes[qid]
+                if qr.involved and qr.barrier_epoch != before.get(qid):
+                    seeds.append((qid, qr.barrier_epoch))
+
+        eng._bsp_begin_superstep = recording
+        trace = eng.run()
+        assert len(trace.finished_queries()) == 2
+        assert len(seeds) > 2  # the run actually exercised several supersteps
+        for qid in (0, 1):
+            epochs = [epoch for q, epoch in seeds if q == qid]
+            # strictly increasing: no two generations ever share an epoch
+            assert epochs == sorted(set(epochs))
+            assert len(epochs) == len(set(epochs))
